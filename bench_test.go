@@ -1,0 +1,430 @@
+// Package repro_test benchmarks the reproduction: one benchmark per
+// evaluated figure plus microbenchmarks for the substrates. The
+// figure-level results (relative overheads, analyzer outcome) are
+// emitted as custom benchmark metrics; `cmd/benchrunner` prints the
+// full tables and charts.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/daemon"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/ima"
+	"repro/internal/monitor"
+	"repro/internal/nref"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+const benchScale = 4000
+
+var (
+	benchMu   sync.Mutex
+	benchRoot string
+	instances = map[string]*benchInstance{}
+	benchSeq  int
+)
+
+// benchFile creates a unique page file for one benchmark invocation.
+func benchFile(b *testing.B, pool *storage.Pool) *storage.File {
+	b.Helper()
+	benchMu.Lock()
+	benchSeq++
+	n := benchSeq
+	benchMu.Unlock()
+	f, err := storage.OpenFile(fmt.Sprintf("%s/bench_%d.dat", benchRoot, n), pool)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+type benchInstance struct {
+	db  *engine.DB
+	mon *monitor.Monitor
+	wdb *engine.DB
+	dm  *daemon.Daemon
+}
+
+func TestMain(m *testing.M) {
+	var err error
+	benchRoot, err = os.MkdirTemp("", "repro-bench-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	code := m.Run()
+	for _, inst := range instances {
+		inst.db.Close()
+		if inst.wdb != nil {
+			inst.wdb.Close()
+		}
+	}
+	os.RemoveAll(benchRoot)
+	os.Exit(code)
+}
+
+// getInstance lazily loads one NREF database per setup, shared across
+// benchmarks.
+func getInstance(b *testing.B, setup string) *benchInstance {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if inst, ok := instances[setup]; ok {
+		return inst
+	}
+	inst := &benchInstance{}
+	if setup != "original" {
+		inst.mon = monitor.New(monitor.Config{WorkloadCapacity: 1000})
+	}
+	db, err := engine.Open(engine.Config{
+		Dir:       benchRoot + "/" + setup + "/db",
+		PoolPages: 2048,
+		Monitor:   inst.mon,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst.db = db
+	if inst.mon != nil {
+		if err := ima.Register(db, inst.mon); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := nref.NewGenerator(benchScale, 42).Load(db); err != nil {
+		b.Fatal(err)
+	}
+	if setup == "daemon" {
+		wdb, err := engine.Open(engine.Config{Dir: benchRoot + "/" + setup + "/wdb", PoolPages: 512})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst.wdb = wdb
+		dm, err := daemon.New(daemon.Config{Source: db, Mon: inst.mon, Target: wdb})
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst.dm = dm
+	}
+	instances[setup] = inst
+	return inst
+}
+
+// runWorkload executes b.N statements drawn from the generator fn.
+func runWorkload(b *testing.B, inst *benchInstance, fn func(i int) string) {
+	s := inst.db.NewSession()
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(fn(i)); err != nil {
+			b.Fatal(err)
+		}
+		// The daemon setup polls every 20000 statements, matching its
+		// wall-clock cadence at the engine's statement throughput.
+		if inst.dm != nil && i%20000 == 19999 {
+			if err := inst.dm.Poll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Figure 4: the three workloads on the three setups ---------------
+
+func benchComplex(b *testing.B, setup string) {
+	inst := getInstance(b, setup)
+	qs := nref.Complex50(benchScale)
+	runWorkload(b, inst, func(i int) string { return qs[i%len(qs)] })
+}
+
+func benchJoin(b *testing.B, setup string) {
+	inst := getInstance(b, setup)
+	runWorkload(b, inst, func(i int) string { return nref.SimpleJoinStatement(i, benchScale) })
+}
+
+func benchSelect(b *testing.B, setup string) {
+	inst := getInstance(b, setup)
+	runWorkload(b, inst, func(i int) string { return nref.PointSelectStatement(i, benchScale) })
+}
+
+func BenchmarkFig4_Complex_Original(b *testing.B)   { benchComplex(b, "original") }
+func BenchmarkFig4_Complex_Monitoring(b *testing.B) { benchComplex(b, "monitoring") }
+func BenchmarkFig4_Complex_Daemon(b *testing.B)     { benchComplex(b, "daemon") }
+
+func BenchmarkFig4_SimpleJoin_Original(b *testing.B)   { benchJoin(b, "original") }
+func BenchmarkFig4_SimpleJoin_Monitoring(b *testing.B) { benchJoin(b, "monitoring") }
+func BenchmarkFig4_SimpleJoin_Daemon(b *testing.B)     { benchJoin(b, "daemon") }
+
+func BenchmarkFig4_PointSelect_Original(b *testing.B)   { benchSelect(b, "original") }
+func BenchmarkFig4_PointSelect_Monitoring(b *testing.B) { benchSelect(b, "monitoring") }
+func BenchmarkFig4_PointSelect_Daemon(b *testing.B)     { benchSelect(b, "daemon") }
+
+// --- Figure 5: share of monitoring -----------------------------------
+
+func BenchmarkFig5_MonitoringShare(b *testing.B) {
+	inst := getInstance(b, "monitoring")
+	s := inst.db.NewSession()
+	defer s.Close()
+	// Warm caches so the share reflects the steady state of Figure 5's
+	// right-hand side.
+	for i := 0; i < 2000; i++ {
+		if _, err := s.Exec(nref.PointSelectStatement(i, benchScale)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	mon0 := inst.mon.TotalMonitorTime()
+	b.ResetTimer()
+	start := nowNano()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Exec(nref.PointSelectStatement(i, benchScale)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := nowNano() - start
+	monD := int64(inst.mon.TotalMonitorTime() - mon0)
+	if elapsed > 0 {
+		b.ReportMetric(float64(monD)/float64(elapsed)*100, "monitor-share-%")
+	}
+}
+
+// --- Figures 6 & 7: the analyzer experiment --------------------------
+
+func BenchmarkFig7_Analyzer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp(benchRoot, "fig7-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := experiments.RunFig7(experiments.Config{
+			Dir: dir, Scale: 2000, ComplexN: 25, JoinsN: 1, SelectsN: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.RuntimePercent, "analyser-runtime-%")
+		b.ReportMetric(float64(res.IndexRecs), "indexes-recommended")
+		os.RemoveAll(dir)
+	}
+}
+
+// --- Figure 8: locking under contention ------------------------------
+
+func BenchmarkFig8_Locks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp(benchRoot, "fig8-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := experiments.RunFig8(experiments.Config{
+			Dir: dir, Scale: 600, JoinsN: 1, SelectsN: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.LockWaits), "lock-waits")
+		b.ReportMetric(float64(res.Deadlocks), "deadlocks")
+		os.RemoveAll(dir)
+	}
+}
+
+// --- §V-A microbenchmarks: sensor and substrate costs ----------------
+
+func BenchmarkMonitorCall(b *testing.B) {
+	m := monitor.New(monitor.Config{})
+	tables := []string{"protein"}
+	attrs := []string{"protein.nref_id"}
+	idx := []string{"pk_protein"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := m.StartStatement("SELECT p.nref_id FROM protein p WHERE p.nref_id = 'NF00000001'")
+		h.Parsed("SELECT", tables)
+		h.Optimized(10, 5, 1, attrs, idx, 0)
+		h.Finish(12, 0, 1, nil)
+	}
+}
+
+func BenchmarkBTreePut(b *testing.B) {
+	pool := storage.NewPool(4096)
+	f := benchFile(b, pool)
+	defer f.Close()
+	bt, err := storage.CreateBTree(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := []byte("0123456789abcdef")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := sqltypes.EncodeKey(nil, sqltypes.NewInt(int64(i)))
+		if err := bt.Put(key, val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeGet(b *testing.B) {
+	pool := storage.NewPool(4096)
+	f := benchFile(b, pool)
+	defer f.Close()
+	bt, err := storage.CreateBTree(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		bt.Put(sqltypes.EncodeKey(nil, sqltypes.NewInt(int64(i))), []byte("v"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := sqltypes.EncodeKey(nil, sqltypes.NewInt(int64(i%n)))
+		if _, ok, err := bt.Get(key); err != nil || !ok {
+			b.Fatal(err, ok)
+		}
+	}
+}
+
+func BenchmarkHeapInsert(b *testing.B) {
+	pool := storage.NewPool(4096)
+	f := benchFile(b, pool)
+	defer f.Close()
+	h := storage.OpenHeap(f, 1, 0)
+	rec := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseNormalized(b *testing.B) {
+	const sql = "SELECT p.nref_id, o.organism_name FROM protein p JOIN organism o ON p.nref_id = o.nref_id WHERE p.nref_id = 'NF00001234'"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparser.ParseNormalized(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func nowNano() int64 { return time.Now().UnixNano() }
+
+// --- Ablations: design choices called out in DESIGN.md ----------------
+
+// BenchmarkAblation_PlanCacheOff measures the point select with the
+// plan cache defeated (invalidated before every statement): the cost
+// of parsing + optimizing every time, i.e. what Figure 5's warm-cache
+// effect saves.
+func BenchmarkAblation_PlanCacheOff(b *testing.B) {
+	inst := getInstance(b, "original")
+	s := inst.db.NewSession()
+	defer s.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		inst.db.InvalidatePlans()
+		if _, err := s.Exec(nref.PointSelectStatement(i, benchScale)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_MonitorRing compares sensor cost across statement
+// ring capacities: the ring keeps the commit O(1), so capacity must
+// not matter.
+func BenchmarkAblation_MonitorRing(b *testing.B) {
+	for _, capacity := range []int{10, 1000, 100000} {
+		b.Run(fmt.Sprintf("cap%d", capacity), func(b *testing.B) {
+			m := monitor.New(monitor.Config{StatementCapacity: capacity})
+			for i := 0; i < b.N; i++ {
+				h := m.StartStatement(nref.PointSelectStatement(i, 1<<20))
+				h.Parsed("SELECT", []string{"protein"})
+				h.Finish(1, 0, 1, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_BufferPool compares a complex query under a
+// starved pool (64 pages) vs the default (2048): the IO counters the
+// monitor records come from exactly this difference.
+func BenchmarkAblation_BufferPool(b *testing.B) {
+	for _, pages := range []int{64, 2048} {
+		b.Run(fmt.Sprintf("pages%d", pages), func(b *testing.B) {
+			dir, err := os.MkdirTemp(benchRoot, "pool-")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			db, err := engine.Open(engine.Config{Dir: dir, PoolPages: pages})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			if err := nref.NewGenerator(2000, 42).Load(db); err != nil {
+				b.Fatal(err)
+			}
+			q := nref.Complex50(2000)[0]
+			s := db.NewSession()
+			defer s.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Exec(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_IndexVsScan measures the same selective query with
+// and without its index — the raw material of every analyzer win.
+func BenchmarkAblation_IndexVsScan(b *testing.B) {
+	dir, err := os.MkdirTemp(benchRoot, "ixvs-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := engine.Open(engine.Config{Dir: dir, PoolPages: 2048})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	if err := nref.NewGenerator(4000, 42).Load(db); err != nil {
+		b.Fatal(err)
+	}
+	q := "SELECT name FROM protein WHERE taxonomy_id = 3"
+	s := db.NewSession()
+	defer s.Close()
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if _, err := s.Exec("CREATE INDEX ix_abl_tax ON protein (taxonomy_id)"); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Exec("CREATE STATISTICS FOR protein (taxonomy_id)"); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("index", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Exec(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

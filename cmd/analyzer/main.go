@@ -1,0 +1,68 @@
+// Command analyzer scans a workload database collected by the storage
+// daemon, prints the recommendations, the Figure 6 cost diagram and
+// the Figure 8 locks diagram, and optionally applies the recommended
+// changes to the source database:
+//
+//	analyzer -dir /tmp/mydb            # report only
+//	analyzer -dir /tmp/mydb -apply     # report and implement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		dir   = flag.String("dir", "./ingresdb", "database directory (as used by ingresd/monitord)")
+		apply = flag.Bool("apply", false, "apply the recommendations to the database")
+	)
+	flag.Parse()
+
+	sys, err := core.Open(core.Options{Dir: *dir})
+	if err != nil {
+		fatal(err)
+	}
+	defer sys.Close()
+
+	rep, err := sys.Analyze()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println(rep.String())
+
+	if locks, err := sys.Analyzer.LocksDiagram(); err == nil {
+		fmt.Println(locks)
+	}
+
+	if trends, err := sys.Analyzer.Trends(); err == nil && len(trends) > 0 {
+		fmt.Println("system statistics trends:")
+		for _, tr := range trends {
+			line := "  " + tr.String()
+			// Predict when the workload DB would hit 1 GB, as a capacity
+			// planning example.
+			if tr.Metric == "db_bytes" {
+				if when, ok := tr.PredictCrossing(1 << 30); ok {
+					line += fmt.Sprintf(" — reaches 1 GB around %s", when.Format("2006-01-02 15:04"))
+				}
+			}
+			fmt.Println(line)
+		}
+	}
+
+	if *apply {
+		if err := sys.Apply(rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("applied %d recommendations\n", len(rep.Recommendations))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "analyzer:", err)
+	os.Exit(1)
+}

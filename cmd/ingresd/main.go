@@ -1,0 +1,142 @@
+// Command ingresd is an interactive SQL shell over the monitored
+// engine. It opens (or creates) a database with the integrated monitor
+// and the IMA virtual tables registered, so the monitoring data is one
+// SELECT away:
+//
+//	ingresd -dir /tmp/mydb
+//	> CREATE TABLE t (a INTEGER PRIMARY KEY, b VARCHAR(32))
+//	> INSERT INTO t VALUES (1, 'hello')
+//	> SELECT * FROM t
+//	> SELECT query_text, frequency FROM ima_statements
+//
+// Meta commands: \q quits, \plan SQL explains, \whatif SQL explains
+// admitting virtual indexes, \stats prints system statistics.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/netsql"
+	"repro/internal/sqltypes"
+)
+
+func main() {
+	dir := flag.String("dir", "./ingresdb", "database directory")
+	listen := flag.String("listen", "", "also serve remote SQL sessions on this address (e.g. 127.0.0.1:4333)")
+	flag.Parse()
+
+	sys, err := core.Open(core.Options{Dir: *dir})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ingresd:", err)
+		os.Exit(1)
+	}
+	defer sys.Close()
+	if *listen != "" {
+		srv := netsql.NewServer(sys.DB)
+		addr, err := srv.Listen(context.Background(), *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ingresd:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("ingresd: remote SQL sessions on %s\n", addr)
+	}
+	sess := sys.Session()
+	defer sess.Close()
+
+	fmt.Printf("ingresd: database %s (monitoring active; try SELECT * FROM ima_statistics)\n", *dir)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "quit" || line == "exit":
+			return
+		case strings.HasPrefix(line, `\plan `):
+			explain(sess, strings.TrimPrefix(line, `\plan `), false)
+			continue
+		case strings.HasPrefix(line, `\whatif `):
+			explain(sess, strings.TrimPrefix(line, `\whatif `), true)
+			continue
+		case line == `\stats`:
+			st := sys.DB.Stats()
+			fmt.Printf("%+v\n", st)
+			continue
+		}
+		res, err := sess.Exec(line)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printResult(res)
+	}
+}
+
+func explain(sess *engine.Session, sql string, whatIf bool) {
+	plan, err := sess.Explain(sql, whatIf)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(plan.String())
+	fmt.Printf("estimated: cpu=%.0f io=%.0f rows=%.0f total=%.1f\n",
+		plan.Est.CPU, plan.Est.IO, plan.Est.Rows, plan.Est.Total())
+}
+
+func printResult(res *engine.Result) {
+	if len(res.Columns) == 0 {
+		fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+		return
+	}
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			if v.T == sqltypes.Text && len(s) > 48 {
+				s = s[:45] + "..."
+			}
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range res.Columns {
+		fmt.Printf("%-*s  ", widths[i], c)
+	}
+	fmt.Println()
+	for i := range res.Columns {
+		fmt.Print(strings.Repeat("-", widths[i]), "  ")
+	}
+	fmt.Println()
+	for _, row := range cells {
+		for ci, s := range row {
+			w := 0
+			if ci < len(widths) {
+				w = widths[ci]
+			}
+			fmt.Printf("%-*s  ", w, s)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}

@@ -1,0 +1,75 @@
+// Quickstart: open a monitored database, run some SQL, and read the
+// monitoring data back over plain SQL through the IMA virtual tables.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Open the integrated system: engine + monitor + IMA + daemon.
+	sys, err := core.Open(core.Options{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	s := sys.Session()
+	defer s.Close()
+
+	must := func(sql string) {
+		if _, err := s.Exec(sql); err != nil {
+			log.Fatalf("%s: %v", sql, err)
+		}
+	}
+	must(`CREATE TABLE books (
+		id INTEGER PRIMARY KEY,
+		title VARCHAR(64),
+		author VARCHAR(64),
+		year INTEGER)`)
+	must(`INSERT INTO books VALUES
+		(1, 'The INGRES Papers', 'Stonebraker', 1986),
+		(2, 'A Relational Model of Data', 'Codd', 1970),
+		(3, 'Database Cracking', 'Idreos', 2007),
+		(4, 'AutoAdmin What-If', 'Chaudhuri', 1998)`)
+
+	res, err := s.Exec("SELECT title, year FROM books WHERE year < 2000 ORDER BY year")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("books before 2000:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %s (%s)\n", row[0], row[1])
+	}
+
+	// Everything the engine just did was monitored in-core. The data
+	// is in main-memory ring buffers, readable as ordinary tables:
+	res, err = s.Exec(`SELECT kind, query_text, frequency FROM ima_statements ORDER BY kind`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmonitored statements (from the IMA virtual table):")
+	for _, row := range res.Rows {
+		fmt.Printf("  %-14s x%-3s %.60s\n", row[0], row[2], row[1].S)
+	}
+
+	res, err = s.Exec("SELECT statements, cache_hits, cache_misses, db_bytes FROM ima_statistics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := res.Rows[0]
+	fmt.Printf("\nsystem statistics: %s statements, %s cache hits, %s misses, %s bytes on disk\n",
+		r[0], r[1], r[2], r[3])
+}

@@ -1,0 +1,89 @@
+// Remote demonstrates the IMA remote-monitoring claim: a "DBA
+// workstation" connects to the running server over TCP and watches the
+// system purely through SQL on the virtual tables — no bespoke
+// monitoring protocol.
+//
+//	go run ./examples/remote
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/netsql"
+	"repro/internal/nref"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "remote-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// The "server machine": a monitored database with some activity.
+	sys, err := core.Open(core.Options{Dir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	if err := nref.NewGenerator(1000, 3).Load(sys.DB); err != nil {
+		log.Fatal(err)
+	}
+	srv := netsql.NewServer(sys.DB)
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	fmt.Printf("server listening on %s\n\n", addr)
+
+	// Local application traffic.
+	app := sys.Session()
+	for i := 0; i < 25; i++ {
+		if _, err := app.Exec(nref.PointSelectStatement(i, 1000)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, err := app.Exec("SELECT COUNT(*) FROM protein JOIN organism ON protein.nref_id = organism.nref_id"); err != nil {
+		log.Fatal(err)
+	}
+	app.Close()
+
+	// The "DBA workstation": a plain remote SQL session.
+	dba, err := netsql.Dial(addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer dba.Close()
+
+	resp, err := dba.Exec(`SELECT kind, COUNT(*), SUM(frequency)
+		FROM ima_statements GROUP BY kind ORDER BY kind`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("remote view of the statement mix:")
+	for _, r := range resp.Rows {
+		fmt.Printf("  %-8s %3s distinct, %4s executions\n", r[0], r[1], r[2])
+	}
+
+	resp, err = dba.Exec(`SELECT table_name, frequency, data_pages, overflow_pages
+		FROM ima_tables WHERE frequency > 0 ORDER BY frequency DESC`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nremote view of table usage:")
+	for _, r := range resp.Rows {
+		fmt.Printf("  %-12s used %3s times, %3s pages (%s overflow)\n", r[0], r[1], r[2], r[3])
+	}
+
+	resp, err = dba.Exec("SELECT statements, cache_hits, cache_misses FROM ima_statistics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := resp.Rows[0]
+	fmt.Printf("\nremote system statistics: %s statements, %s hits / %s misses\n", r[0], r[1], r[2])
+}

@@ -1,0 +1,41 @@
+package analyzer
+
+import (
+	"repro/internal/charts"
+	"repro/internal/workloaddb"
+)
+
+// LocksDiagram renders the paper's Figure 8: the number of locks in
+// use over time, with 'W' markers where lock waits occurred and 'D'
+// markers for deadlocks, read from the persisted statistics series.
+func (a *Analyzer) LocksDiagram() (string, error) {
+	s := a.cfg.WorkloadDB.NewSession()
+	defer s.Close()
+	res, err := s.Exec(`SELECT ts_us, locks_held, lock_waits, deadlocks
+		FROM ` + workloaddb.Statistics + ` ORDER BY ts_us`)
+	if err != nil {
+		return "", err
+	}
+	if len(res.Rows) == 0 {
+		return charts.SeriesChart("Locks in use", nil, nil, 60, 10), nil
+	}
+	t0 := res.Rows[0][0].I
+	var pts []charts.Point
+	var markers []charts.Marker
+	prevWaits, prevDeadlocks := int64(0), int64(0)
+	for i, r := range res.Rows {
+		t := float64(r[0].I-t0) / 1e6
+		pts = append(pts, charts.Point{T: t, V: r[1].AsFloat()})
+		waits, deadlocks := r[2].I, r[3].I
+		if i > 0 {
+			if deadlocks > prevDeadlocks {
+				markers = append(markers, charts.Marker{T: t, Label: 'D'})
+			} else if waits > prevWaits {
+				markers = append(markers, charts.Marker{T: t, Label: 'W'})
+			}
+		}
+		prevWaits, prevDeadlocks = waits, deadlocks
+	}
+	return charts.SeriesChart("Locks in use over time (W = lock waits, D = deadlocks)",
+		pts, markers, 64, 10), nil
+}

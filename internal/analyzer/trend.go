@@ -1,0 +1,122 @@
+package analyzer
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sqltypes"
+	"repro/internal/workloaddb"
+)
+
+// Trend is a least-squares fit over one statistics column's time
+// series — the third analysis level of §IV-C: "identify trends and
+// patterns and start predicting potential problems in advance".
+type Trend struct {
+	Metric    string
+	Samples   int
+	First     time.Time
+	Last      time.Time
+	Current   float64
+	PerHour   float64 // fitted slope
+	Intercept float64
+	// R2 is the coefficient of determination of the fit; predictions
+	// from low-R2 trends are noise.
+	R2 float64
+}
+
+// PredictCrossing estimates when the metric reaches the threshold by
+// extrapolating the fitted line. ok is false when the trend never
+// reaches it (flat or moving away) or the fit explains too little
+// variance.
+func (t *Trend) PredictCrossing(threshold float64) (time.Time, bool) {
+	if t.Samples < 3 || t.R2 < 0.5 || t.PerHour == 0 {
+		return time.Time{}, false
+	}
+	hours := (threshold - t.Current) / t.PerHour
+	if hours < 0 {
+		return time.Time{}, false
+	}
+	return t.Last.Add(time.Duration(hours * float64(time.Hour))), true
+}
+
+// String renders the trend.
+func (t *Trend) String() string {
+	return fmt.Sprintf("%s: %.1f now, %+.2f/hour over %d samples (R²=%.2f)",
+		t.Metric, t.Current, t.PerHour, t.Samples, t.R2)
+}
+
+// statisticsColumns lists the ws_statistics columns Trends analyzes.
+var statisticsColumns = []string{
+	"statements", "locks_held", "lock_waits", "deadlocks",
+	"cache_misses", "disk_writes", "db_bytes", "peak_sessions",
+}
+
+// Trends fits a linear trend to every system-statistics column in the
+// workload DB. Columns without at least three samples are omitted.
+func (a *Analyzer) Trends() ([]Trend, error) {
+	s := a.cfg.WorkloadDB.NewSession()
+	defer s.Close()
+	var out []Trend
+	for _, col := range statisticsColumns {
+		res, err := s.Exec(fmt.Sprintf(
+			"SELECT ts_us, %s FROM %s ORDER BY ts_us", col, workloaddb.Statistics))
+		if err != nil {
+			return nil, err
+		}
+		if len(res.Rows) < 3 {
+			continue
+		}
+		out = append(out, fitTrend(col, res.Rows))
+	}
+	return out, nil
+}
+
+// fitTrend least-squares fits value against hours since the first
+// sample. rows are (ts_us, value) pairs ordered by time.
+func fitTrend(metric string, rows []sqltypes.Row) Trend {
+	t0 := rows[0][0].I
+	n := float64(len(rows))
+	var sx, sy, sxx, sxy float64
+	for _, r := range rows {
+		x := float64(r[0].I-t0) / 3.6e9 // hours
+		y := r[1].AsFloat()
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	tr := Trend{
+		Metric:  metric,
+		Samples: len(rows),
+		First:   time.UnixMicro(t0),
+		Last:    time.UnixMicro(rows[len(rows)-1][0].I),
+		Current: rows[len(rows)-1][1].AsFloat(),
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		tr.Intercept = sy / n
+		return tr
+	}
+	tr.PerHour = (n*sxy - sx*sy) / denom
+	tr.Intercept = (sy - tr.PerHour*sx) / n
+	// R²: 1 - SSres/SStot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for _, r := range rows {
+		x := float64(r[0].I-t0) / 3.6e9
+		y := r[1].AsFloat()
+		fit := tr.Intercept + tr.PerHour*x
+		ssRes += (y - fit) * (y - fit)
+		ssTot += (y - meanY) * (y - meanY)
+	}
+	if ssTot > 0 {
+		tr.R2 = 1 - ssRes/ssTot
+	} else if ssRes == 0 {
+		tr.R2 = 1
+	}
+	if math.IsNaN(tr.R2) || math.IsInf(tr.R2, 0) {
+		tr.R2 = 0
+	}
+	return tr
+}

@@ -1,0 +1,328 @@
+// Package catalog implements the system catalog: descriptions of
+// tables, attributes, secondary indexes (real and virtual) and column
+// histograms. The catalog is an in-memory structure persisted as JSON
+// in the database directory — it plays the role of the Ingres system
+// catalogs that the paper's monitor reads "right at the source".
+package catalog
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/sqltypes"
+)
+
+// Structure names a table's storage structure.
+type Structure string
+
+// The storage structures of the engine. Heap is the Ingres default;
+// BTree keeps rows ordered by a key and never accumulates overflow
+// pages.
+const (
+	Heap  Structure = "HEAP"
+	BTree Structure = "BTREE"
+)
+
+// Table describes one base table.
+type Table struct {
+	Name       string          `json:"name"`
+	Schema     sqltypes.Schema `json:"schema"`
+	Structure  Structure       `json:"structure"`
+	PrimaryKey []string        `json:"primary_key,omitempty"`
+	// StorageKey is the key the BTREE storage structure clusters on
+	// (MODIFY ... TO BTREE ON ...); it defaults to the primary key and,
+	// unlike it, does not imply uniqueness.
+	StorageKey []string  `json:"storage_key,omitempty"`
+	MainPages  uint32    `json:"main_pages"`
+	Rows       int64     `json:"rows"`
+	Created    time.Time `json:"created"`
+}
+
+// Index describes a secondary index. In Ingres, a secondary index is
+// itself a table of (key columns, TID); a Virtual index exists only in
+// the catalog so the optimizer can cost it without building it — the
+// what-if mechanism of [Chaudhuri & Narasayya 1998] the paper reuses.
+type Index struct {
+	Name    string    `json:"name"`
+	Table   string    `json:"table"`
+	Columns []string  `json:"columns"`
+	Unique  bool      `json:"unique"`
+	Virtual bool      `json:"virtual"`
+	Created time.Time `json:"created"`
+}
+
+// Catalog is the set of tables, indexes and histograms of one database.
+// It is safe for concurrent use.
+type Catalog struct {
+	mu         sync.RWMutex
+	path       string // file path; empty for purely in-memory catalogs
+	tables     map[string]*Table
+	indexes    map[string]*Index
+	histograms map[string]*Histogram // key: table + "." + column (lower)
+}
+
+type catalogFile struct {
+	Tables     []*Table     `json:"tables"`
+	Indexes    []*Index     `json:"indexes"`
+	Histograms []*Histogram `json:"histograms"`
+}
+
+// New creates an empty in-memory catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:     map[string]*Table{},
+		indexes:    map[string]*Index{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Load opens the catalog stored in dir (creating an empty one if the
+// file does not exist) and ties the catalog to that file for Save.
+func Load(dir string) (*Catalog, error) {
+	c := New()
+	c.path = filepath.Join(dir, "catalog.json")
+	data, err := os.ReadFile(c.path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	}
+	var cf catalogFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return nil, fmt.Errorf("catalog: corrupt %s: %w", c.path, err)
+	}
+	for _, t := range cf.Tables {
+		c.tables[lower(t.Name)] = t
+	}
+	for _, ix := range cf.Indexes {
+		c.indexes[lower(ix.Name)] = ix
+	}
+	for _, h := range cf.Histograms {
+		c.histograms[histKey(h.Table, h.Column)] = h
+	}
+	return c, nil
+}
+
+// Save writes the catalog to its backing file, if any.
+func (c *Catalog) Save() error {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.saveLocked()
+}
+
+func (c *Catalog) saveLocked() error {
+	if c.path == "" {
+		return nil
+	}
+	var cf catalogFile
+	for _, t := range c.tables {
+		cf.Tables = append(cf.Tables, t)
+	}
+	for _, ix := range c.indexes {
+		cf.Indexes = append(cf.Indexes, ix)
+	}
+	for _, h := range c.histograms {
+		cf.Histograms = append(cf.Histograms, h)
+	}
+	sort.Slice(cf.Tables, func(i, j int) bool { return cf.Tables[i].Name < cf.Tables[j].Name })
+	sort.Slice(cf.Indexes, func(i, j int) bool { return cf.Indexes[i].Name < cf.Indexes[j].Name })
+	sort.Slice(cf.Histograms, func(i, j int) bool {
+		if cf.Histograms[i].Table != cf.Histograms[j].Table {
+			return cf.Histograms[i].Table < cf.Histograms[j].Table
+		}
+		return cf.Histograms[i].Column < cf.Histograms[j].Column
+	})
+	data, err := json.MarshalIndent(&cf, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path)
+}
+
+func lower(s string) string { return strings.ToLower(s) }
+
+func histKey(table, col string) string { return lower(table) + "." + lower(col) }
+
+// AddTable registers a new table.
+func (c *Catalog) AddTable(t *Table) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := lower(t.Name)
+	if _, exists := c.tables[key]; exists {
+		return fmt.Errorf("catalog: table %s already exists", t.Name)
+	}
+	if t.Created.IsZero() {
+		t.Created = time.Now()
+	}
+	c.tables[key] = t
+	return c.saveLocked()
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tables[lower(name)]
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// DropTable removes a table, its indexes and its histograms.
+func (c *Catalog) DropTable(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := lower(name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("catalog: table %s does not exist", name)
+	}
+	delete(c.tables, key)
+	for ixName, ix := range c.indexes {
+		if lower(ix.Table) == key {
+			delete(c.indexes, ixName)
+		}
+	}
+	for hk, h := range c.histograms {
+		if lower(h.Table) == key {
+			delete(c.histograms, hk)
+		}
+	}
+	return c.saveLocked()
+}
+
+// UpdateTable applies fn to the named table under the catalog lock and
+// persists the result.
+func (c *Catalog) UpdateTable(name string, fn func(*Table)) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.tables[lower(name)]
+	if !ok {
+		return fmt.Errorf("catalog: table %s does not exist", name)
+	}
+	fn(t)
+	return c.saveLocked()
+}
+
+// AddIndex registers a secondary index (real or virtual).
+func (c *Catalog) AddIndex(ix *Index) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := lower(ix.Name)
+	if _, exists := c.indexes[key]; exists {
+		return fmt.Errorf("catalog: index %s already exists", ix.Name)
+	}
+	if _, exists := c.tables[lower(ix.Table)]; !exists {
+		return fmt.Errorf("catalog: index %s references unknown table %s", ix.Name, ix.Table)
+	}
+	t := c.tables[lower(ix.Table)]
+	for _, col := range ix.Columns {
+		if t.Schema.ColIndex(col) < 0 {
+			return fmt.Errorf("catalog: index %s references unknown column %s.%s", ix.Name, ix.Table, col)
+		}
+	}
+	if ix.Created.IsZero() {
+		ix.Created = time.Now()
+	}
+	c.indexes[key] = ix
+	return c.saveLocked()
+}
+
+// Index returns the named index, or nil.
+func (c *Catalog) Index(name string) *Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.indexes[lower(name)]
+}
+
+// DropIndex removes an index.
+func (c *Catalog) DropIndex(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[lower(name)]; !ok {
+		return fmt.Errorf("catalog: index %s does not exist", name)
+	}
+	delete(c.indexes, lower(name))
+	return c.saveLocked()
+}
+
+// TableIndexes returns the indexes on a table, sorted by name. Virtual
+// indexes are included only when withVirtual is set — the executor asks
+// without, the what-if optimizer with.
+func (c *Catalog) TableIndexes(table string, withVirtual bool) []*Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []*Index
+	for _, ix := range c.indexes {
+		if lower(ix.Table) == lower(table) && (withVirtual || !ix.Virtual) {
+			out = append(out, ix)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Indexes returns every index, sorted by name.
+func (c *Catalog) Indexes() []*Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Index, 0, len(c.indexes))
+	for _, ix := range c.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SetHistogram stores a histogram for table.column.
+func (c *Catalog) SetHistogram(h *Histogram) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.histograms[histKey(h.Table, h.Column)] = h
+	return c.saveLocked()
+}
+
+// Histogram returns the histogram for table.column, or nil if the
+// column has no statistics — the condition the analyzer's "create
+// statistics" rule looks for.
+func (c *Catalog) Histogram(table, col string) *Histogram {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.histograms[histKey(table, col)]
+}
+
+// Histograms returns every histogram.
+func (c *Catalog) Histograms() []*Histogram {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Histogram, 0, len(c.histograms))
+	for _, h := range c.histograms {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].Column < out[j].Column
+	})
+	return out
+}

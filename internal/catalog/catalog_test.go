@@ -1,0 +1,249 @@
+package catalog
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func sampleTable(name string) *Table {
+	return &Table{
+		Name: name,
+		Schema: sqltypes.NewSchema(
+			sqltypes.Column{Name: "id", Type: sqltypes.Int},
+			sqltypes.Column{Name: "name", Type: sqltypes.Text},
+		),
+		Structure:  Heap,
+		PrimaryKey: []string{"id"},
+		MainPages:  1,
+	}
+}
+
+func TestCatalogTableLifecycle(t *testing.T) {
+	c := New()
+	if err := c.AddTable(sampleTable("t1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(sampleTable("T1")); err == nil {
+		t.Fatal("duplicate table (case-insensitive) accepted")
+	}
+	if c.Table("T1") == nil {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if err := c.UpdateTable("t1", func(tb *Table) { tb.Rows = 42 }); err != nil {
+		t.Fatal(err)
+	}
+	if c.Table("t1").Rows != 42 {
+		t.Error("UpdateTable did not persist in memory")
+	}
+	if err := c.DropTable("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Table("t1") != nil {
+		t.Error("dropped table still visible")
+	}
+	if err := c.DropTable("t1"); err == nil {
+		t.Error("double drop accepted")
+	}
+}
+
+func TestCatalogIndexes(t *testing.T) {
+	c := New()
+	c.AddTable(sampleTable("t1"))
+	if err := c.AddIndex(&Index{Name: "ix1", Table: "t1", Columns: []string{"name"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(&Index{Name: "ix1", Table: "t1", Columns: []string{"id"}}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if err := c.AddIndex(&Index{Name: "ix2", Table: "missing", Columns: []string{"id"}}); err == nil {
+		t.Error("index on missing table accepted")
+	}
+	if err := c.AddIndex(&Index{Name: "ix3", Table: "t1", Columns: []string{"bogus"}}); err == nil {
+		t.Error("index on missing column accepted")
+	}
+	if err := c.AddIndex(&Index{Name: "vx1", Table: "t1", Columns: []string{"id"}, Virtual: true}); err != nil {
+		t.Fatal(err)
+	}
+	real := c.TableIndexes("t1", false)
+	all := c.TableIndexes("t1", true)
+	if len(real) != 1 || len(all) != 2 {
+		t.Errorf("TableIndexes: real=%d all=%d", len(real), len(all))
+	}
+	// Dropping the table removes its indexes.
+	c.DropTable("t1")
+	if c.Index("ix1") != nil || c.Index("vx1") != nil {
+		t.Error("indexes survived table drop")
+	}
+}
+
+func TestCatalogPersistence(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddTable(sampleTable("protein"))
+	c.AddIndex(&Index{Name: "ix_name", Table: "protein", Columns: []string{"name"}})
+	vals := []sqltypes.Value{sqltypes.NewInt(1), sqltypes.NewInt(2), sqltypes.NewInt(3)}
+	c.SetHistogram(BuildHistogram("protein", "id", vals, 4))
+
+	c2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Table("protein") == nil {
+		t.Fatal("table not persisted")
+	}
+	if c2.Table("protein").Schema.ColIndex("name") != 1 {
+		t.Error("schema not persisted")
+	}
+	if c2.Index("ix_name") == nil {
+		t.Error("index not persisted")
+	}
+	h := c2.Histogram("protein", "id")
+	if h == nil || h.Rows != 3 {
+		t.Errorf("histogram not persisted: %+v", h)
+	}
+	if got := c2.Histogram("protein", "missing"); got != nil {
+		t.Error("phantom histogram")
+	}
+}
+
+func TestLoadCorruptCatalog(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Load(dir)
+	c.AddTable(sampleTable("x")) // force a file
+	// Corrupt it.
+	if err := writeFile(c.path, []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(dir); err == nil {
+		t.Error("corrupt catalog loaded without error")
+	}
+}
+
+func TestHistogramEquiDepth(t *testing.T) {
+	var vals []sqltypes.Value
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, sqltypes.NewInt(int64(i)))
+	}
+	h := BuildHistogram("t", "c", vals, 10)
+	if len(h.Buckets) != 10 {
+		t.Fatalf("buckets = %d", len(h.Buckets))
+	}
+	if h.Rows != 1000 || h.Distinct != 1000 {
+		t.Fatalf("rows=%d distinct=%d", h.Rows, h.Distinct)
+	}
+	for _, b := range h.Buckets {
+		if b.Rows != 100 {
+			t.Errorf("bucket depth %d, want 100", b.Rows)
+		}
+	}
+	if h.Min.I != 0 || h.Max.I != 999 {
+		t.Errorf("min/max: %v/%v", h.Min, h.Max)
+	}
+}
+
+func TestHistogramSelectivityEq(t *testing.T) {
+	var vals []sqltypes.Value
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, sqltypes.NewInt(int64(i%100))) // 100 distinct, 10 each
+	}
+	h := BuildHistogram("t", "c", vals, 10)
+	sel := h.SelectivityEq(sqltypes.NewInt(42))
+	if sel < 0.005 || sel > 0.02 { // true selectivity 0.01
+		t.Errorf("SelectivityEq = %g, want ≈0.01", sel)
+	}
+	if h.SelectivityEq(sqltypes.NewInt(5000)) != 0 {
+		t.Error("out-of-range value should have zero selectivity")
+	}
+	if h.SelectivityEq(sqltypes.NewInt(-1)) != 0 {
+		t.Error("below-min value should have zero selectivity")
+	}
+}
+
+func TestHistogramSelectivityRange(t *testing.T) {
+	var vals []sqltypes.Value
+	for i := 0; i < 10000; i++ {
+		vals = append(vals, sqltypes.NewInt(int64(i)))
+	}
+	h := BuildHistogram("t", "c", vals, 20)
+
+	cases := []struct {
+		lo, hi       int64
+		hasLo, hasHi bool
+		want         float64
+	}{
+		{0, 9999, true, true, 1.0},
+		{0, 4999, true, true, 0.5},
+		{2500, 7499, true, true, 0.5},
+		{0, 99, true, true, 0.01},
+		{9000, 0, true, false, 0.1},
+		{0, 999, false, true, 0.1},
+	}
+	for _, c := range cases {
+		got := h.SelectivityRange(sqltypes.NewInt(c.lo), c.hasLo, sqltypes.NewInt(c.hi), c.hasHi)
+		if got < c.want*0.7-0.01 || got > c.want*1.3+0.01 {
+			t.Errorf("SelectivityRange(%d..%d) = %g, want ≈%g", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestHistogramNulls(t *testing.T) {
+	vals := []sqltypes.Value{
+		sqltypes.NullValue(), sqltypes.NullValue(),
+		sqltypes.NewInt(1), sqltypes.NewInt(2),
+	}
+	h := BuildHistogram("t", "c", vals, 4)
+	if h.Nulls != 2 || h.Rows != 2 {
+		t.Fatalf("nulls=%d rows=%d", h.Nulls, h.Rows)
+	}
+	if sel := h.SelectivityEq(sqltypes.NullValue()); sel != 0.5 {
+		t.Errorf("null selectivity = %g", sel)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := BuildHistogram("t", "c", nil, 4)
+	if h.SelectivityEq(sqltypes.NewInt(1)) != 0 {
+		t.Error("empty histogram should estimate 0")
+	}
+	if h.SelectivityRange(sqltypes.NewInt(0), true, sqltypes.NewInt(9), true) != 0 {
+		t.Error("empty histogram range should estimate 0")
+	}
+}
+
+func TestHistogramSkewKeepsDuplicatesTogether(t *testing.T) {
+	var vals []sqltypes.Value
+	for i := 0; i < 900; i++ {
+		vals = append(vals, sqltypes.NewInt(7)) // heavy hitter
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, sqltypes.NewInt(int64(100+i)))
+	}
+	h := BuildHistogram("t", "c", vals, 10)
+	sel := h.SelectivityEq(sqltypes.NewInt(7))
+	if sel < 0.5 {
+		t.Errorf("heavy hitter selectivity = %g, want ≥0.5", sel)
+	}
+	// Equal values must never straddle buckets, so no bucket other than
+	// the one ending at 7 may contain value 7.
+	seen := 0
+	for _, b := range h.Buckets {
+		if sqltypes.Equal(b.Hi, sqltypes.NewInt(7)) {
+			seen++
+			if b.Rows < 900 {
+				t.Errorf("heavy-hitter bucket has only %d rows", b.Rows)
+			}
+		}
+	}
+	if seen != 1 {
+		t.Errorf("value 7 ends %d buckets, want 1", seen)
+	}
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

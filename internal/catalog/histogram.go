@@ -1,0 +1,202 @@
+package catalog
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sqltypes"
+)
+
+// DefaultBuckets is the number of equi-depth buckets a histogram is
+// built with.
+const DefaultBuckets = 20
+
+// Bucket is one equi-depth histogram cell; Hi is its inclusive upper
+// bound. The lower bound is the previous bucket's Hi (exclusive), or
+// the histogram Min for the first bucket (inclusive).
+type Bucket struct {
+	Hi       sqltypes.Value `json:"hi"`
+	Rows     int64          `json:"rows"`
+	Distinct int64          `json:"distinct"`
+}
+
+// Histogram holds equi-depth statistics for one column — what Ingres
+// optimizedb collects and the optimizer consumes for selectivity
+// estimates.
+type Histogram struct {
+	Table     string         `json:"table"`
+	Column    string         `json:"column"`
+	Min       sqltypes.Value `json:"min"`
+	Max       sqltypes.Value `json:"max"`
+	Rows      int64          `json:"rows"`  // non-null rows
+	Nulls     int64          `json:"nulls"` // null rows
+	Distinct  int64          `json:"distinct"`
+	Buckets   []Bucket       `json:"buckets"`
+	Collected time.Time      `json:"collected"`
+}
+
+// BuildHistogram computes an equi-depth histogram over the sampled
+// column values (nulls included; they are counted separately).
+func BuildHistogram(table, column string, values []sqltypes.Value, nbuckets int) *Histogram {
+	if nbuckets <= 0 {
+		nbuckets = DefaultBuckets
+	}
+	h := &Histogram{Table: table, Column: column, Collected: time.Now()}
+	nonNull := make([]sqltypes.Value, 0, len(values))
+	for _, v := range values {
+		if v.IsNull() {
+			h.Nulls++
+			continue
+		}
+		nonNull = append(nonNull, v)
+	}
+	h.Rows = int64(len(nonNull))
+	if h.Rows == 0 {
+		return h
+	}
+	sort.Slice(nonNull, func(i, j int) bool {
+		return sqltypes.Compare(nonNull[i], nonNull[j]) < 0
+	})
+	h.Min = nonNull[0]
+	h.Max = nonNull[len(nonNull)-1]
+
+	depth := (len(nonNull) + nbuckets - 1) / nbuckets
+	if depth < 1 {
+		depth = 1
+	}
+	i := 0
+	for i < len(nonNull) {
+		end := i + depth
+		if end > len(nonNull) {
+			end = len(nonNull)
+		}
+		// Extend the bucket so equal values never straddle a boundary.
+		for end < len(nonNull) && sqltypes.Equal(nonNull[end], nonNull[end-1]) {
+			end++
+		}
+		b := Bucket{Hi: nonNull[end-1], Rows: int64(end - i)}
+		d := int64(1)
+		for j := i + 1; j < end; j++ {
+			if !sqltypes.Equal(nonNull[j], nonNull[j-1]) {
+				d++
+			}
+		}
+		b.Distinct = d
+		h.Distinct += d
+		h.Buckets = append(h.Buckets, b)
+		i = end
+	}
+	return h
+}
+
+// SelectivityEq estimates the fraction of rows equal to v.
+func (h *Histogram) SelectivityEq(v sqltypes.Value) float64 {
+	total := h.Rows + h.Nulls
+	if total == 0 {
+		return 0
+	}
+	if v.IsNull() {
+		return float64(h.Nulls) / float64(total)
+	}
+	if sqltypes.Compare(v, h.Min) < 0 || sqltypes.Compare(v, h.Max) > 0 {
+		return 0
+	}
+	lo := h.Min
+	for _, b := range h.Buckets {
+		if sqltypes.Compare(v, b.Hi) <= 0 {
+			if b.Distinct == 0 {
+				return 0
+			}
+			_ = lo
+			return float64(b.Rows) / float64(b.Distinct) / float64(total)
+		}
+		lo = b.Hi
+	}
+	return 1 / float64(h.Distinct+1)
+}
+
+// SelectivityRange estimates the fraction of rows in [lo, hi]. Either
+// bound may be absent (hasLo/hasHi false = unbounded). Bounds are
+// treated as inclusive; for our page-level cost estimates the
+// difference from open intervals is noise.
+func (h *Histogram) SelectivityRange(lo sqltypes.Value, hasLo bool, hi sqltypes.Value, hasHi bool) float64 {
+	total := h.Rows + h.Nulls
+	if total == 0 || h.Rows == 0 {
+		return 0
+	}
+	if !hasLo && !hasHi {
+		return float64(h.Rows) / float64(total)
+	}
+	covered := 0.0
+	prevHi := h.Min
+	first := true
+	for _, b := range h.Buckets {
+		bLo := prevHi
+		if !first {
+			// lower bound is exclusive of the previous Hi
+		}
+		frac := bucketOverlap(bLo, b.Hi, lo, hasLo, hi, hasHi, first)
+		covered += frac * float64(b.Rows)
+		prevHi = b.Hi
+		first = false
+	}
+	return covered / float64(total)
+}
+
+// bucketOverlap estimates which fraction of a bucket spanning
+// (bLo, bHi] overlaps [lo, hi], interpolating linearly for numeric
+// values and falling back to thirds for text.
+func bucketOverlap(bLo, bHi sqltypes.Value, lo sqltypes.Value, hasLo bool, hi sqltypes.Value, hasHi bool, firstBucket bool) float64 {
+	// Entirely below or above the range?
+	if hasLo && sqltypes.Compare(bHi, lo) < 0 {
+		return 0
+	}
+	if hasHi && sqltypes.Compare(bLo, hi) > 0 && !firstBucket {
+		return 0
+	}
+	if hasHi && firstBucket && sqltypes.Compare(bLo, hi) > 0 {
+		return 0
+	}
+	loInside := !hasLo || sqltypes.Compare(lo, bLo) <= 0
+	hiInside := !hasHi || sqltypes.Compare(hi, bHi) >= 0
+	if loInside && hiInside {
+		return 1
+	}
+	// Partial overlap: interpolate when the bounds are numeric.
+	bl, blNum := asNum(bLo)
+	bh, bhNum := asNum(bHi)
+	if blNum && bhNum && bh > bl {
+		start, end := bl, bh
+		if hasLo {
+			if lv, ok := asNum(lo); ok && lv > start {
+				start = lv
+			}
+		}
+		if hasHi {
+			if hv, ok := asNum(hi); ok && hv < end {
+				end = hv
+			}
+		}
+		if end <= start {
+			// A point (or inverted) range inside one bucket: estimate a
+			// single distinct value's share of the bucket.
+			return 0.05
+		}
+		return (end - start) / (bh - bl)
+	}
+	// Non-numeric partial overlap: assume a third of the bucket.
+	return 1.0 / 3.0
+}
+
+func asNum(v sqltypes.Value) (float64, bool) {
+	switch v.T {
+	case sqltypes.Int:
+		return float64(v.I), true
+	case sqltypes.Float:
+		return v.F, true
+	}
+	return 0, false
+}
+
+// Age returns how long ago the histogram was collected.
+func (h *Histogram) Age() time.Duration { return time.Since(h.Collected) }

@@ -1,0 +1,92 @@
+package catalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqltypes"
+)
+
+// TestHistogramCDFMonotonic checks with random data that the range
+// selectivity up to a growing upper bound is (approximately)
+// non-decreasing. The linear interpolation inside buckets can dip by a
+// small fraction at bucket boundaries, so a 2% tolerance is allowed —
+// what must never happen is a large inversion or an out-of-range
+// probability.
+func TestHistogramCDFMonotonic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	const tolerance = 0.02
+	for trial := 0; trial < 50; trial++ {
+		n := 100 + r.Intn(2000)
+		vals := make([]sqltypes.Value, n)
+		for i := range vals {
+			vals[i] = sqltypes.NewInt(int64(r.Intn(500)))
+		}
+		h := BuildHistogram("t", "c", vals, 1+r.Intn(30))
+		prev := -1.0
+		for hi := int64(-10); hi <= 510; hi += 7 {
+			sel := h.SelectivityRange(sqltypes.Value{}, false, sqltypes.NewInt(hi), true)
+			if sel < prev-tolerance {
+				t.Fatalf("trial %d: CDF decreased at %d: %g < %g", trial, hi, sel, prev)
+			}
+			if sel < 0 || sel > 1+1e-9 {
+				t.Fatalf("trial %d: selectivity out of range: %g", trial, sel)
+			}
+			if sel > prev {
+				prev = sel
+			}
+		}
+	}
+}
+
+// TestHistogramEqWithinBounds checks that equality selectivity is a
+// valid probability and roughly consistent with the true frequency for
+// uniform data.
+func TestHistogramEqWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		distinct := 1 + r.Intn(100)
+		n := distinct * (1 + r.Intn(50))
+		vals := make([]sqltypes.Value, n)
+		for i := range vals {
+			vals[i] = sqltypes.NewInt(int64(i % distinct))
+		}
+		h := BuildHistogram("t", "c", vals, 10)
+		v := sqltypes.NewInt(int64(r.Intn(distinct)))
+		sel := h.SelectivityEq(v)
+		truth := 1.0 / float64(distinct)
+		return sel > 0 && sel <= 1 && sel < truth*5+0.01 && sel > truth/5-0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistogramTotalsConserved checks row accounting: bucket rows sum
+// to the non-null row count.
+func TestHistogramTotalsConserved(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(3000)
+		vals := make([]sqltypes.Value, n)
+		nulls := 0
+		for i := range vals {
+			if r.Intn(10) == 0 {
+				vals[i] = sqltypes.NullValue()
+				nulls++
+			} else {
+				vals[i] = sqltypes.NewInt(r.Int63n(1000))
+			}
+		}
+		h := BuildHistogram("t", "c", vals, 16)
+		var sum int64
+		for _, b := range h.Buckets {
+			sum += b.Rows
+		}
+		return sum == h.Rows && h.Rows == int64(n-nulls) && h.Nulls == int64(nulls)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

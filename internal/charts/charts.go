@@ -1,0 +1,192 @@
+// Package charts renders the analyzer's graphical feedback as
+// deterministic ASCII: grouped bar charts (the paper's Figure 6 cost
+// diagram, Figure 7 results) and time-series charts with event markers
+// (the Figure 8 locks diagram).
+package charts
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// BarGroup is one labelled group of bars (e.g. one query with actual /
+// estimated / what-if cost).
+type BarGroup struct {
+	Label  string
+	Values []float64
+}
+
+// BarChart renders grouped horizontal bars. Series names the bars
+// within each group; width is the maximum bar width in characters.
+func BarChart(title string, series []string, groups []BarGroup, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	max := 0.0
+	for _, g := range groups {
+		for _, v := range g.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max == 0 {
+		max = 1
+	}
+	labelW := 0
+	for _, g := range groups {
+		if len(g.Label) > labelW {
+			labelW = len(g.Label)
+		}
+	}
+	seriesW := 0
+	for _, s := range series {
+		if len(s) > seriesW {
+			seriesW = len(s)
+		}
+	}
+	marks := []byte{'#', '=', '-', '+', '*'}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for gi, g := range groups {
+		if gi > 0 {
+			b.WriteByte('\n')
+		}
+		for si, v := range g.Values {
+			name := ""
+			if si < len(series) {
+				name = series[si]
+			}
+			label := ""
+			if si == 0 {
+				label = g.Label
+			}
+			n := int(math.Round(v / max * float64(width)))
+			if v > 0 && n == 0 {
+				n = 1
+			}
+			mark := marks[si%len(marks)]
+			fmt.Fprintf(&b, "%-*s %-*s |%s %s\n",
+				labelW, label, seriesW, name,
+				strings.Repeat(string(mark), n), formatNum(v))
+		}
+	}
+	return b.String()
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T float64 // seconds since start
+	V float64
+}
+
+// Marker flags an event on the time axis (lock waits, deadlocks).
+type Marker struct {
+	T     float64
+	Label byte // printed in the marker row
+}
+
+// SeriesChart renders a scaled line chart of one series over time with
+// a marker row underneath — the shape of the paper's locks diagram.
+func SeriesChart(title string, pts []Point, markers []Marker, width, height int) string {
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 10
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	if len(pts) == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	tMin, tMax := pts[0].T, pts[0].T
+	vMax := 0.0
+	for _, p := range pts {
+		if p.T < tMin {
+			tMin = p.T
+		}
+		if p.T > tMax {
+			tMax = p.T
+		}
+		if p.V > vMax {
+			vMax = p.V
+		}
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+	if vMax == 0 {
+		vMax = 1
+	}
+	// Downsample the series to the chart width.
+	cols := make([]float64, width)
+	filled := make([]bool, width)
+	for _, p := range pts {
+		x := int((p.T - tMin) / (tMax - tMin) * float64(width-1))
+		if p.V > cols[x] || !filled[x] {
+			cols[x] = p.V
+			filled[x] = true
+		}
+	}
+	// Forward-fill gaps.
+	last := 0.0
+	for x := 0; x < width; x++ {
+		if filled[x] {
+			last = cols[x]
+		} else {
+			cols[x] = last
+		}
+	}
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+	}
+	for x := 0; x < width; x++ {
+		h := int(math.Round(cols[x] / vMax * float64(height-1)))
+		for y := 0; y <= h; y++ {
+			grid[height-1-y][x] = '.'
+		}
+		grid[height-1-h][x] = '*'
+	}
+	for y, rowBytes := range grid {
+		axis := " "
+		if y == 0 {
+			axis = formatNum(vMax)
+		}
+		if y == height-1 {
+			axis = "0"
+		}
+		fmt.Fprintf(&b, "%8s |%s\n", axis, string(rowBytes))
+	}
+	// Marker row.
+	markRow := []byte(strings.Repeat(" ", width))
+	for _, m := range markers {
+		x := int((m.T - tMin) / (tMax - tMin) * float64(width-1))
+		if x >= 0 && x < width {
+			markRow[x] = m.Label
+		}
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %s\n", "", string(markRow))
+	fmt.Fprintf(&b, "%8s  t=%ss .. %ss\n", "", formatNum(tMin), formatNum(tMax))
+	return b.String()
+}
+
+func formatNum(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e7:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

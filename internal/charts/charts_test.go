@@ -1,0 +1,80 @@
+package charts
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartBasics(t *testing.T) {
+	out := BarChart("Cost Diagram", []string{"actual", "estimated", "what-if"},
+		[]BarGroup{
+			{Label: "Q1", Values: []float64{100, 40, 10}},
+			{Label: "Q2", Values: []float64{50, 55, 50}},
+		}, 40)
+	if !strings.Contains(out, "Cost Diagram") {
+		t.Error("title missing")
+	}
+	for _, want := range []string{"Q1", "Q2", "actual", "estimated", "what-if", "100", "55"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(out, "\n")
+	maxHashes, q2Hashes := 0, 0
+	for _, l := range lines {
+		n := strings.Count(l, "#")
+		if n > maxHashes {
+			maxHashes = n
+		}
+		if strings.HasPrefix(l, "Q2") {
+			q2Hashes = strings.Count(l, "#")
+		}
+	}
+	if maxHashes != 40 {
+		t.Errorf("max bar = %d, want 40", maxHashes)
+	}
+	if q2Hashes >= maxHashes {
+		t.Errorf("Q2 bar (%d) should be shorter than Q1 (%d)", q2Hashes, maxHashes)
+	}
+}
+
+func TestBarChartEmptyAndZero(t *testing.T) {
+	out := BarChart("", []string{"a"}, []BarGroup{{Label: "x", Values: []float64{0}}}, 0)
+	if !strings.Contains(out, "x") {
+		t.Errorf("zero-value chart broken:\n%s", out)
+	}
+	if BarChart("t", nil, nil, 10) == "" {
+		t.Error("empty chart should still render the title")
+	}
+}
+
+func TestSeriesChart(t *testing.T) {
+	var pts []Point
+	for i := 0; i < 100; i++ {
+		pts = append(pts, Point{T: float64(i), V: float64(i % 20)})
+	}
+	out := SeriesChart("Locks", pts, []Marker{{T: 50, Label: 'D'}, {T: 10, Label: 'W'}}, 60, 8)
+	if !strings.Contains(out, "Locks") || !strings.Contains(out, "*") {
+		t.Errorf("series chart broken:\n%s", out)
+	}
+	if !strings.Contains(out, "D") || !strings.Contains(out, "W") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 8 grid rows + title + separator + markers + time range.
+	if len(lines) != 12 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestSeriesChartDegenerate(t *testing.T) {
+	if out := SeriesChart("x", nil, nil, 10, 4); !strings.Contains(out, "no data") {
+		t.Errorf("empty series: %q", out)
+	}
+	// Single point must not divide by zero.
+	out := SeriesChart("x", []Point{{T: 5, V: 3}}, nil, 10, 4)
+	if !strings.Contains(out, "*") {
+		t.Errorf("single point chart broken:\n%s", out)
+	}
+}

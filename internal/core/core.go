@@ -1,0 +1,176 @@
+// Package core wires the paper's complete system together: the DBMS
+// engine with the integrated monitor compiled in, the IMA virtual
+// tables, the storage daemon with its workload database, and the
+// analyzer — the full auto-tuning control loop of Figure 1
+// (monitoring → storing → analysing → implementing).
+//
+// It is the top-level API the examples and command-line tools use:
+//
+//	sys, _ := core.Open(core.Options{Dir: "/tmp/mydb"})
+//	defer sys.Close()
+//	sess := sys.Session()
+//	sess.Exec("CREATE TABLE t (a INTEGER PRIMARY KEY)")
+//	...
+//	sys.Poll()                   // persist monitoring data
+//	report, _ := sys.Analyze()   // recommendations
+//	sys.Apply(report)            // implement them
+package core
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/analyzer"
+	"repro/internal/daemon"
+	"repro/internal/engine"
+	"repro/internal/ima"
+	"repro/internal/monitor"
+)
+
+// Options configures an integrated system.
+type Options struct {
+	// Dir is the base directory; the monitored database lives in
+	// Dir/db and the workload database in Dir/workloaddb.
+	Dir string
+	// PoolPages sizes the engine buffer pool (default 2048).
+	PoolPages int
+	// DisableMonitor opens the engine without any monitoring — the
+	// paper's "Original" baseline. IMA, daemon and analyzer are then
+	// unavailable.
+	DisableMonitor bool
+	// StatementCapacity sizes the monitor's statement ring
+	// (default 1000, as in the prototype).
+	StatementCapacity int
+	// DaemonInterval is the storage daemon polling period
+	// (default 30 s).
+	DaemonInterval time.Duration
+	// Retention is the workload DB retention window (default 7 days).
+	Retention time.Duration
+	// Alerts are threshold rules the daemon evaluates after each poll.
+	Alerts []daemon.Alert
+	// FlushOnFull makes the daemon's Run loop poll immediately when
+	// the monitor's workload ring nears capacity (the in-core
+	// collection trigger of §IV-B) instead of waiting for the tick.
+	FlushOnFull bool
+}
+
+// System is the integrated monitored DBMS.
+type System struct {
+	DB         *engine.DB
+	Monitor    *monitor.Monitor
+	WorkloadDB *engine.DB
+	Daemon     *daemon.Daemon
+	Analyzer   *analyzer.Analyzer
+}
+
+// Open builds the system in opts.Dir.
+func Open(opts Options) (*System, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("core: Options.Dir is required")
+	}
+	sys := &System{}
+	if !opts.DisableMonitor {
+		sys.Monitor = monitor.New(monitor.Config{StatementCapacity: opts.StatementCapacity})
+	}
+	db, err := engine.Open(engine.Config{
+		Dir:       filepath.Join(opts.Dir, "db"),
+		PoolPages: opts.PoolPages,
+		Monitor:   sys.Monitor,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys.DB = db
+	if opts.DisableMonitor {
+		return sys, nil
+	}
+	if err := ima.Register(db, sys.Monitor); err != nil {
+		db.Close()
+		return nil, err
+	}
+	wdb, err := engine.Open(engine.Config{
+		Dir:       filepath.Join(opts.Dir, "workloaddb"),
+		PoolPages: 512,
+	})
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	sys.WorkloadDB = wdb
+	d, err := daemon.New(daemon.Config{
+		Source:      db,
+		Mon:         sys.Monitor,
+		Target:      wdb,
+		Interval:    opts.DaemonInterval,
+		Retention:   opts.Retention,
+		Alerts:      opts.Alerts,
+		FlushOnFull: opts.FlushOnFull,
+	})
+	if err != nil {
+		db.Close()
+		wdb.Close()
+		return nil, err
+	}
+	sys.Daemon = d
+	an, err := analyzer.New(analyzer.Config{Source: db, WorkloadDB: wdb})
+	if err != nil {
+		db.Close()
+		wdb.Close()
+		return nil, err
+	}
+	sys.Analyzer = an
+	return sys, nil
+}
+
+// Session opens a session on the monitored database.
+func (s *System) Session() *engine.Session { return s.DB.NewSession() }
+
+// Poll runs one storage-daemon collection cycle immediately.
+func (s *System) Poll() error {
+	if s.Daemon == nil {
+		return fmt.Errorf("core: monitoring is disabled")
+	}
+	return s.Daemon.Poll()
+}
+
+// RunDaemon runs the storage daemon until the context is cancelled.
+func (s *System) RunDaemon(ctx context.Context) error {
+	if s.Daemon == nil {
+		return fmt.Errorf("core: monitoring is disabled")
+	}
+	return s.Daemon.Run(ctx)
+}
+
+// Analyze scans the collected data and returns recommendations.
+func (s *System) Analyze() (*analyzer.Report, error) {
+	if s.Analyzer == nil {
+		return nil, fmt.Errorf("core: monitoring is disabled")
+	}
+	return s.Analyzer.Analyze()
+}
+
+// Apply implements a report's recommendations on the database.
+func (s *System) Apply(rep *analyzer.Report, kinds ...analyzer.Kind) error {
+	if s.Analyzer == nil {
+		return fmt.Errorf("core: monitoring is disabled")
+	}
+	return s.Analyzer.Apply(rep, kinds...)
+}
+
+// Close shuts down both databases.
+func (s *System) Close() error {
+	var firstErr error
+	if s.DB != nil {
+		if err := s.DB.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	if s.WorkloadDB != nil {
+		if err := s.WorkloadDB.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

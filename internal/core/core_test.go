@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzer"
+	"repro/internal/daemon"
+)
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("empty options accepted")
+	}
+}
+
+// TestFullControlLoop drives the paper's Figure 1 loop end to end:
+// monitor a workload, store it, analyze it, implement the changes, and
+// observe the workload getting cheaper.
+func TestFullControlLoop(t *testing.T) {
+	sys, err := Open(Options{Dir: t.TempDir(), PoolPages: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	s := sys.Session()
+	defer s.Close()
+	if _, err := s.Exec("CREATE TABLE ev (id INTEGER PRIMARY KEY, kind INTEGER, note VARCHAR(64))"); err != nil {
+		t.Fatal(err)
+	}
+	for base := 0; base < 3000; base += 250 {
+		stmt := "INSERT INTO ev VALUES "
+		for i := base; i < base+250; i++ {
+			if i > base {
+				stmt += ", "
+			}
+			stmt += fmt.Sprintf("(%d, %d, 'note-%d')", i, i%40, i)
+		}
+		if _, err := s.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Monitoring phase: a repeated selective query.
+	for i := 0; i < 20; i++ {
+		if _, err := s.Exec(fmt.Sprintf("SELECT note FROM ev WHERE kind = %d", i%40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Storing phase.
+	if err := sys.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	// Analysis phase.
+	rep, err := sys.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Recommendations) == 0 {
+		t.Fatal("no recommendations for an index-starved workload")
+	}
+	var hasIndex bool
+	for _, r := range rep.Recommendations {
+		if r.Kind == analyzer.KindIndex && r.Table == "ev" {
+			hasIndex = true
+		}
+	}
+	if !hasIndex {
+		t.Errorf("no index recommended on ev.kind; got %+v", rep.Recommendations)
+	}
+
+	before, _ := s.Exec("SELECT note FROM ev WHERE kind = 7")
+
+	// Implementation phase.
+	if err := sys.Apply(rep); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Exec("SELECT note FROM ev WHERE kind = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != len(before.Rows) {
+		t.Fatalf("tuning changed results: %d vs %d", len(after.Rows), len(before.Rows))
+	}
+	if !strings.Contains(after.Plan.String(), "IndexScan") {
+		t.Errorf("tuned plan still scans:\n%s", after.Plan.String())
+	}
+}
+
+func TestDisabledMonitorSystem(t *testing.T) {
+	sys, err := Open(Options{Dir: t.TempDir(), DisableMonitor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	s := sys.Session()
+	defer s.Close()
+	if _, err := s.Exec("CREATE TABLE t (a INTEGER PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Poll(); err == nil {
+		t.Error("Poll should fail without monitoring")
+	}
+	if _, err := sys.Analyze(); err == nil {
+		t.Error("Analyze should fail without monitoring")
+	}
+	if err := sys.Apply(nil); err == nil {
+		t.Error("Apply should fail without monitoring")
+	}
+	if err := sys.RunDaemon(nil); err == nil { //nolint:staticcheck
+		t.Error("RunDaemon should fail without monitoring")
+	}
+}
+
+func TestAlertsThroughSystem(t *testing.T) {
+	fired := 0
+	sys, err := Open(Options{
+		Dir: t.TempDir(),
+		Alerts: []daemon.Alert{{
+			Name:      "sessions",
+			Query:     "SELECT peak_sessions FROM ima_statistics",
+			Op:        ">=",
+			Threshold: 1,
+			Action:    func(daemon.Event) { fired++ },
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	s := sys.Session()
+	defer s.Close()
+	if err := sys.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("alert fired %d times", fired)
+	}
+}

@@ -1,0 +1,447 @@
+// Package daemon implements the storage daemon: a lightweight
+// background collector that periodically reads the monitoring data out
+// of the DBMS and appends it, timestamped, to the persistent workload
+// database. Disk is touched only on the daemon's schedule — "disk
+// accesses are performed only every few minutes instead of with every
+// executed statement".
+//
+// The daemon also implements the paper's active alerting: after each
+// poll it evaluates user-defined threshold rules (plain SQL against
+// the workload DB or the live IMA tables) and notifies the DBA.
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/ima"
+	"repro/internal/monitor"
+	"repro/internal/sqltypes"
+	"repro/internal/workloaddb"
+)
+
+// DefaultInterval matches the prototype's polling cadence: "collecting
+// up to 1000 statements within an interval of 30 seconds has proven to
+// be enough".
+const DefaultInterval = 30 * time.Second
+
+// DefaultRetention keeps "the workload of a typical work week".
+const DefaultRetention = 7 * 24 * time.Hour
+
+// Alert is a threshold rule evaluated after every poll. Query must
+// return at least one row; its first column is compared against
+// Threshold with Op. Matching fires Action.
+type Alert struct {
+	Name      string
+	Query     string // run against the source DB (IMA) — plain SQL
+	Op        string // ">", ">=", "<", "<=", "="
+	Threshold float64
+	Action    func(Event)
+}
+
+// Event describes a fired alert.
+type Event struct {
+	Alert string
+	Value float64
+	When  time.Time
+}
+
+// Config wires a daemon.
+type Config struct {
+	// Source is the monitored database (must have IMA registered).
+	Source *engine.DB
+	// Mon is the source's monitor; the daemon drains its workload ring
+	// directly — the in-core collection variant of §IV-B.
+	Mon *monitor.Monitor
+	// Target is the workload database.
+	Target *engine.DB
+	// Interval between polls (default 30 s).
+	Interval time.Duration
+	// Retention window (default 7 days).
+	Retention time.Duration
+	// Alerts to evaluate after each poll.
+	Alerts []Alert
+	// FlushOnFull registers the daemon with the monitor's buffer-full
+	// signal: when the workload ring nears capacity between ticks, the
+	// Run loop polls immediately instead of letting the ring wrap —
+	// the in-core collection trigger the paper sketches in §IV-B.
+	FlushOnFull bool
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// Stats reports daemon activity.
+type Stats struct {
+	Polls        int64
+	RowsAppended int64
+	RowsPruned   int64
+	AlertsFired  int64
+	LastPoll     time.Time
+}
+
+// Daemon persists monitoring data on a schedule.
+type Daemon struct {
+	cfg Config
+
+	mu        sync.Mutex
+	seenRefs  map[string]bool // reference rows already persisted
+	lastPrune time.Time
+	prevPoll  time.Time // statements unchanged since then are skipped
+
+	polls    atomic.Int64
+	appended atomic.Int64
+	pruned   atomic.Int64
+	fired    atomic.Int64
+	lastPoll atomic.Int64 // unix micro
+
+	fullSignal chan struct{}
+}
+
+// New validates the config and builds a daemon.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Source == nil || cfg.Target == nil || cfg.Mon == nil {
+		return nil, fmt.Errorf("daemon: Source, Target and Mon are required")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = DefaultRetention
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if err := workloaddb.EnsureSchema(cfg.Target); err != nil {
+		return nil, err
+	}
+	d := &Daemon{cfg: cfg, seenRefs: map[string]bool{}}
+	if cfg.FlushOnFull {
+		d.fullSignal = make(chan struct{}, 1)
+		cfg.Mon.SetFullHandler(func() {
+			select {
+			case d.fullSignal <- struct{}{}:
+			default:
+			}
+		})
+	}
+	return d, nil
+}
+
+// Run polls until the context is cancelled: on the configured interval
+// and, with FlushOnFull, whenever the monitor signals a near-full
+// workload ring.
+func (d *Daemon) Run(ctx context.Context) error {
+	ticker := time.NewTicker(d.cfg.Interval)
+	defer ticker.Stop()
+	full := d.fullSignal // nil (blocks forever) unless FlushOnFull
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if err := d.Poll(); err != nil {
+				return err
+			}
+		case <-full:
+			if err := d.Poll(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Stats returns a snapshot of daemon counters.
+func (d *Daemon) Stats() Stats {
+	return Stats{
+		Polls:        d.polls.Load(),
+		RowsAppended: d.appended.Load(),
+		RowsPruned:   d.pruned.Load(),
+		AlertsFired:  d.fired.Load(),
+		LastPoll:     time.UnixMicro(d.lastPoll.Load()),
+	}
+}
+
+// Poll performs one collection cycle: drain the workload ring, snapshot
+// the remaining IMA tables, append everything to the workload DB with
+// the poll timestamp, prune expired rows once per retention hour, then
+// evaluate alerts.
+func (d *Daemon) Poll() error {
+	now := d.cfg.Now()
+	ts := now.UnixMicro()
+	d.polls.Add(1)
+	d.lastPoll.Store(ts)
+
+	target := d.cfg.Target.NewSession()
+	defer target.Close()
+
+	// 1. Workload entries: drained so each execution lands exactly once.
+	entries := d.cfg.Mon.DrainWorkload()
+	if err := d.appendWorkload(target, ts, entries); err != nil {
+		return err
+	}
+
+	// 2. Snapshot-style tables via the monitor snapshot and catalog.
+	// Statement rows are appended only when they changed since the
+	// previous poll ("the newest data").
+	snap := d.cfg.Mon.Snapshot()
+	d.mu.Lock()
+	since := d.prevPoll
+	d.prevPoll = now
+	d.mu.Unlock()
+	if err := d.appendStatements(target, ts, snap, since); err != nil {
+		return err
+	}
+	if err := d.appendReferences(target, ts, snap); err != nil {
+		return err
+	}
+	if err := d.appendObjectTables(target, ts, snap); err != nil {
+		return err
+	}
+	if err := d.appendStatistics(target, ts); err != nil {
+		return err
+	}
+
+	// 3. Retention pruning, at most once per hour of wall time.
+	d.mu.Lock()
+	doPrune := now.Sub(d.lastPrune) >= time.Hour || d.lastPrune.IsZero()
+	if doPrune {
+		d.lastPrune = now
+	}
+	d.mu.Unlock()
+	if doPrune {
+		n, err := workloaddb.Prune(d.cfg.Target, d.cfg.Retention, now)
+		if err != nil {
+			return err
+		}
+		d.pruned.Add(n)
+	}
+
+	// 4. Alerts.
+	return d.evaluateAlerts(now)
+}
+
+// insertBatch appends rows to a workload table in chunks.
+func (d *Daemon) insertBatch(s *engine.Session, table string, rows []sqltypes.Row) error {
+	const chunk = 200
+	for start := 0; start < len(rows); start += chunk {
+		end := start + chunk
+		if end > len(rows) {
+			end = len(rows)
+		}
+		var b strings.Builder
+		b.WriteString("INSERT INTO ")
+		b.WriteString(table)
+		b.WriteString(" VALUES ")
+		for i, row := range rows[start:end] {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteByte('(')
+			for j, v := range row {
+				if j > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(v.SQLLiteral())
+			}
+			b.WriteByte(')')
+		}
+		if _, err := s.Exec(b.String()); err != nil {
+			return fmt.Errorf("daemon: append to %s: %w", table, err)
+		}
+		d.appended.Add(int64(end - start))
+	}
+	return nil
+}
+
+func tsRow(ts int64, rest sqltypes.Row) sqltypes.Row {
+	return append(sqltypes.Row{sqltypes.NewInt(ts)}, rest...)
+}
+
+func (d *Daemon) appendWorkload(s *engine.Session, ts int64, entries []monitor.WorkloadEntry) error {
+	rows := make([]sqltypes.Row, 0, len(entries))
+	for _, w := range entries {
+		rows = append(rows, tsRow(ts, ima.WorkloadRow(w)))
+	}
+	return d.insertBatch(s, workloaddb.Workload, rows)
+}
+
+func (d *Daemon) appendStatements(s *engine.Session, ts int64, snap monitor.Snapshot, since time.Time) error {
+	rows := make([]sqltypes.Row, 0, len(snap.Statements))
+	for _, st := range snap.Statements {
+		if !since.IsZero() && st.LastSeen.Before(since) {
+			continue
+		}
+		text := st.Text
+		if len(text) > 500 {
+			text = text[:500]
+		}
+		rows = append(rows, tsRow(ts, sqltypes.Row{
+			sqltypes.NewInt(int64(st.Hash)),
+			sqltypes.NewText(text),
+			sqltypes.NewText(st.Kind),
+			sqltypes.NewInt(st.Frequency),
+			sqltypes.NewInt(st.FirstSeen.UnixMicro()),
+			sqltypes.NewInt(st.LastSeen.UnixMicro()),
+		}))
+	}
+	return d.insertBatch(s, workloaddb.Statements, rows)
+}
+
+func (d *Daemon) appendReferences(s *engine.Session, ts int64, snap monitor.Snapshot) error {
+	var rows []sqltypes.Row
+	d.mu.Lock()
+	for _, r := range snap.References {
+		key := fmt.Sprintf("%d|%d|%s", r.Hash, r.Type, r.Name)
+		if d.seenRefs[key] {
+			continue
+		}
+		d.seenRefs[key] = true
+		rows = append(rows, tsRow(ts, sqltypes.Row{
+			sqltypes.NewInt(int64(r.Hash)),
+			sqltypes.NewText(r.Type.String()),
+			sqltypes.NewText(r.Name),
+			sqltypes.NewText(r.Table),
+		}))
+	}
+	// Bound the dedup set.
+	if len(d.seenRefs) > 100000 {
+		d.seenRefs = map[string]bool{}
+	}
+	d.mu.Unlock()
+	return d.insertBatch(s, workloaddb.References, rows)
+}
+
+// appendObjectTables copies the per-object frequency tables.
+func (d *Daemon) appendObjectTables(s *engine.Session, ts int64, snap monitor.Snapshot) error {
+	cat := d.cfg.Source.Catalog()
+	var trows []sqltypes.Row
+	for _, t := range cat.Tables() {
+		tn := strings.ToLower(t.Name)
+		st := d.cfg.Source.TableState(t.Name)
+		trows = append(trows, tsRow(ts, sqltypes.Row{
+			sqltypes.NewText(tn),
+			sqltypes.NewInt(snap.TableFreq[tn]),
+			sqltypes.NewText(string(t.Structure)),
+			sqltypes.NewInt(int64(st.Pages)),
+			sqltypes.NewInt(int64(st.OverflowPages)),
+			sqltypes.NewInt(st.Rows),
+		}))
+	}
+	if err := d.insertBatch(s, workloaddb.Tables, trows); err != nil {
+		return err
+	}
+
+	var arows []sqltypes.Row
+	for _, t := range cat.Tables() {
+		tn := strings.ToLower(t.Name)
+		for _, c := range t.Schema.Columns {
+			attr := tn + "." + strings.ToLower(c.Name)
+			if snap.AttrFreq[attr] == 0 {
+				continue // only attributes the workload touched
+			}
+			hasHist := int64(0)
+			if cat.Histogram(t.Name, c.Name) != nil {
+				hasHist = 1
+			}
+			arows = append(arows, tsRow(ts, sqltypes.Row{
+				sqltypes.NewText(attr),
+				sqltypes.NewText(tn),
+				sqltypes.NewInt(snap.AttrFreq[attr]),
+				sqltypes.NewInt(hasHist),
+			}))
+		}
+	}
+	if err := d.insertBatch(s, workloaddb.Attributes, arows); err != nil {
+		return err
+	}
+
+	var irows []sqltypes.Row
+	names := make([]string, 0, len(snap.IndexFreq))
+	for name := range snap.IndexFreq {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tableName := ""
+		isVirtual := int64(0)
+		if ix := cat.Index(name); ix != nil {
+			tableName = strings.ToLower(ix.Table)
+			if ix.Virtual {
+				isVirtual = 1
+			}
+		} else if strings.HasSuffix(name, ".primary") {
+			tableName = strings.TrimSuffix(name, ".primary")
+		}
+		irows = append(irows, tsRow(ts, sqltypes.Row{
+			sqltypes.NewText(name),
+			sqltypes.NewText(tableName),
+			sqltypes.NewInt(snap.IndexFreq[name]),
+			sqltypes.NewInt(isVirtual),
+		}))
+	}
+	return d.insertBatch(s, workloaddb.Indexes, irows)
+}
+
+func (d *Daemon) appendStatistics(s *engine.Session, ts int64) error {
+	st := d.cfg.Source.Stats()
+	row := tsRow(ts, sqltypes.Row{
+		sqltypes.NewInt(st.CurrentSessions),
+		sqltypes.NewInt(st.PeakSessions),
+		sqltypes.NewInt(st.Statements),
+		sqltypes.NewInt(st.LocksHeld),
+		sqltypes.NewInt(st.LockWaits),
+		sqltypes.NewInt(st.Deadlocks),
+		sqltypes.NewInt(st.CacheHits),
+		sqltypes.NewInt(st.CacheMisses),
+		sqltypes.NewInt(st.DiskReads),
+		sqltypes.NewInt(st.DiskWrites),
+		sqltypes.NewInt(st.DBBytes),
+	})
+	return d.insertBatch(s, workloaddb.Statistics, []sqltypes.Row{row})
+}
+
+func (d *Daemon) evaluateAlerts(now time.Time) error {
+	if len(d.cfg.Alerts) == 0 {
+		return nil
+	}
+	s := d.cfg.Source.NewSession()
+	defer s.Close()
+	for _, a := range d.cfg.Alerts {
+		res, err := s.Exec(a.Query)
+		if err != nil {
+			return fmt.Errorf("daemon: alert %q: %w", a.Name, err)
+		}
+		if len(res.Rows) == 0 || len(res.Rows[0]) == 0 {
+			continue
+		}
+		v := res.Rows[0][0].AsFloat()
+		fireNow := false
+		switch a.Op {
+		case ">":
+			fireNow = v > a.Threshold
+		case ">=":
+			fireNow = v >= a.Threshold
+		case "<":
+			fireNow = v < a.Threshold
+		case "<=":
+			fireNow = v <= a.Threshold
+		case "=":
+			fireNow = v == a.Threshold
+		default:
+			return fmt.Errorf("daemon: alert %q: bad operator %q", a.Name, a.Op)
+		}
+		if fireNow {
+			d.fired.Add(1)
+			if a.Action != nil {
+				a.Action(Event{Alert: a.Name, Value: v, When: now})
+			}
+		}
+	}
+	return nil
+}

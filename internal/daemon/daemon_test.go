@@ -1,0 +1,347 @@
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/ima"
+	"repro/internal/monitor"
+	"repro/internal/workloaddb"
+)
+
+type fixture struct {
+	source *engine.DB
+	target *engine.DB
+	mon    *monitor.Monitor
+	sess   *engine.Session
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	dir := t.TempDir()
+	mon := monitor.New(monitor.Config{})
+	source, err := engine.Open(engine.Config{Dir: filepath.Join(dir, "src"), PoolPages: 256, Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ima.Register(source, mon); err != nil {
+		t.Fatal(err)
+	}
+	target, err := engine.Open(engine.Config{Dir: filepath.Join(dir, "wdb"), PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { source.Close(); target.Close() })
+	s := source.NewSession()
+	t.Cleanup(s.Close)
+	exec(t, s, "CREATE TABLE t (id INTEGER PRIMARY KEY, v VARCHAR(16))")
+	for i := 0; i < 10; i++ {
+		exec(t, s, fmt.Sprintf("INSERT INTO t VALUES (%d, 'x%d')", i, i))
+	}
+	return &fixture{source: source, target: target, mon: mon, sess: s}
+}
+
+func exec(t *testing.T, s *engine.Session, sql string) *engine.Result {
+	t.Helper()
+	res, err := s.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	return res
+}
+
+func TestNewValidatesConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestPollPersistsWorkload(t *testing.T) {
+	f := newFixture(t)
+	d, err := New(Config{Source: f.source, Mon: f.mon, Target: f.target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec(t, f.sess, "SELECT v FROM t WHERE id = 1")
+	exec(t, f.sess, "SELECT v FROM t WHERE id = 2")
+	if err := d.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	ws := f.target.NewSession()
+	defer ws.Close()
+	res := exec(t, ws, "SELECT COUNT(*) FROM "+workloaddb.Workload)
+	if res.Rows[0][0].I < 2 {
+		t.Errorf("workload rows = %v", res.Rows[0][0])
+	}
+	res = exec(t, ws, "SELECT COUNT(*) FROM "+workloaddb.Statements)
+	if res.Rows[0][0].I == 0 {
+		t.Error("statements not persisted")
+	}
+	res = exec(t, ws, "SELECT COUNT(*) FROM "+workloaddb.Statistics)
+	if res.Rows[0][0].I != 1 {
+		t.Errorf("statistics rows = %v", res.Rows[0][0])
+	}
+	res = exec(t, ws, "SELECT COUNT(*) FROM "+workloaddb.Tables+" WHERE table_name = 't'")
+	if res.Rows[0][0].I != 1 {
+		t.Errorf("tables rows = %v", res.Rows[0][0])
+	}
+	if st := d.Stats(); st.Polls != 1 || st.RowsAppended == 0 {
+		t.Errorf("daemon stats: %+v", st)
+	}
+}
+
+func TestDrainAvoidsDuplicateWorkload(t *testing.T) {
+	f := newFixture(t)
+	d, _ := New(Config{Source: f.source, Mon: f.mon, Target: f.target})
+	exec(t, f.sess, "SELECT v FROM t WHERE id = 1")
+	if err := d.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Poll(); err != nil { // no new statements in between
+		t.Fatal(err)
+	}
+	ws := f.target.NewSession()
+	defer ws.Close()
+	res := exec(t, ws, fmt.Sprintf(
+		"SELECT COUNT(*) FROM %s WHERE hash = %d",
+		workloaddb.Workload, int64(monitor.HashStatement("SELECT v FROM t WHERE id = 1"))))
+	if res.Rows[0][0].I != 1 {
+		t.Errorf("workload entry duplicated across polls: %v", res.Rows[0][0])
+	}
+}
+
+func TestReferencesNotDuplicated(t *testing.T) {
+	f := newFixture(t)
+	d, _ := New(Config{Source: f.source, Mon: f.mon, Target: f.target})
+	exec(t, f.sess, "SELECT v FROM t WHERE id = 1")
+	d.Poll()
+	exec(t, f.sess, "SELECT v FROM t WHERE id = 1")
+	d.Poll()
+	ws := f.target.NewSession()
+	defer ws.Close()
+	// One reference row per (statement, object), not per poll.
+	hash := int64(monitor.HashStatement("SELECT v FROM t WHERE id = 1"))
+	res := exec(t, ws, fmt.Sprintf(
+		"SELECT COUNT(*) FROM %s WHERE obj_type = 'table' AND obj_name = 't' AND hash = %d",
+		workloaddb.References, hash))
+	if res.Rows[0][0].I != 1 {
+		t.Errorf("reference rows = %v, want 1", res.Rows[0][0])
+	}
+}
+
+func TestRetentionPruning(t *testing.T) {
+	f := newFixture(t)
+	clock := time.Now()
+	d, err := New(Config{
+		Source: f.source, Mon: f.mon, Target: f.target,
+		Retention: time.Hour,
+		Now:       func() time.Time { return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec(t, f.sess, "SELECT v FROM t WHERE id = 1")
+	d.Poll()
+
+	ws := f.target.NewSession()
+	before := exec(t, ws, "SELECT COUNT(*) FROM "+workloaddb.Statistics).Rows[0][0].I
+	ws.Close()
+	if before == 0 {
+		t.Fatal("nothing persisted")
+	}
+
+	// Jump the clock past retention; the next poll prunes.
+	clock = clock.Add(3 * time.Hour)
+	if err := d.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	ws = f.target.NewSession()
+	defer ws.Close()
+	res := exec(t, ws, "SELECT MIN(ts_us) FROM "+workloaddb.Statistics)
+	min := res.Rows[0][0].I
+	cutoff := clock.Add(-time.Hour).UnixMicro()
+	if min < cutoff {
+		t.Errorf("rows older than retention survive: min=%d cutoff=%d", min, cutoff)
+	}
+	if d.Stats().RowsPruned == 0 {
+		t.Error("nothing pruned")
+	}
+}
+
+func TestAlerts(t *testing.T) {
+	f := newFixture(t)
+	var events []Event
+	d, err := New(Config{
+		Source: f.source, Mon: f.mon, Target: f.target,
+		Alerts: []Alert{
+			{
+				Name:      "too-many-statements",
+				Query:     "SELECT statements FROM ima_statistics",
+				Op:        ">",
+				Threshold: 0,
+				Action:    func(e Event) { events = append(events, e) },
+			},
+			{
+				Name:      "never-fires",
+				Query:     "SELECT statements FROM ima_statistics",
+				Op:        "<",
+				Threshold: -1,
+				Action:    func(e Event) { t.Error("must not fire") },
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec(t, f.sess, "SELECT COUNT(*) FROM t")
+	if err := d.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Alert != "too-many-statements" || events[0].Value <= 0 {
+		t.Errorf("events: %+v", events)
+	}
+	if d.Stats().AlertsFired != 1 {
+		t.Errorf("AlertsFired = %d", d.Stats().AlertsFired)
+	}
+}
+
+func TestAlertErrors(t *testing.T) {
+	f := newFixture(t)
+	d, _ := New(Config{
+		Source: f.source, Mon: f.mon, Target: f.target,
+		Alerts: []Alert{{Name: "bad", Query: "SELECT nope FROM missing", Op: ">", Threshold: 0}},
+	})
+	if err := d.Poll(); err == nil {
+		t.Fatal("broken alert query not reported")
+	}
+	f2 := newFixture(t)
+	d2, _ := New(Config{
+		Source: f2.source, Mon: f2.mon, Target: f2.target,
+		Alerts: []Alert{{Name: "badop", Query: "SELECT statements FROM ima_statistics", Op: "!!", Threshold: 0}},
+	})
+	if err := d2.Poll(); err == nil {
+		t.Fatal("bad operator not reported")
+	}
+}
+
+func TestRunLoop(t *testing.T) {
+	f := newFixture(t)
+	d, _ := New(Config{
+		Source: f.source, Mon: f.mon, Target: f.target,
+		Interval: 10 * time.Millisecond,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	exec(t, f.sess, "SELECT COUNT(*) FROM t")
+	err := d.Run(ctx)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("Run returned %v", err)
+	}
+	if d.Stats().Polls < 2 {
+		t.Errorf("polls = %d", d.Stats().Polls)
+	}
+}
+
+func TestGrowthModel(t *testing.T) {
+	// The paper: 33 statements/s → ≈28 MB/h, capped ≈4.7 GB at 7 days.
+	g := workloaddb.GrowthModel{
+		StatementsPerSecond: 33,
+		BytesPerWorkloadRow: 28e6 / 3600.0 / 33, // back-solved from the paper
+		Retention:           7 * 24 * time.Hour,
+	}
+	perHour := g.BytesPerHour()
+	if perHour < 27e6 || perHour > 29e6 {
+		t.Errorf("BytesPerHour = %g, want ≈28 MB", perHour)
+	}
+	cap := g.CapBytes()
+	if cap < 4.5e9 || cap > 4.9e9 {
+		t.Errorf("CapBytes = %g, want ≈4.7 GB", cap)
+	}
+}
+
+func TestFlushOnFull(t *testing.T) {
+	dir := t.TempDir()
+	mon := monitor.New(monitor.Config{WorkloadCapacity: 20})
+	source, err := engine.Open(engine.Config{Dir: filepath.Join(dir, "src"), PoolPages: 256, Monitor: mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ima.Register(source, mon); err != nil {
+		t.Fatal(err)
+	}
+	target, err := engine.Open(engine.Config{Dir: filepath.Join(dir, "wdb"), PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer source.Close()
+	defer target.Close()
+
+	d, err := New(Config{
+		Source: source, Mon: mon, Target: target,
+		Interval:    time.Hour, // the ticker never fires in this test
+		FlushOnFull: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- d.Run(ctx) }()
+
+	s := source.NewSession()
+	exec(t, s, "CREATE TABLE f (id INTEGER PRIMARY KEY)")
+	// Cross 90% of the 20-entry ring: the full signal must trigger a
+	// poll long before the hourly tick.
+	for i := 0; i < 19; i++ {
+		exec(t, s, fmt.Sprintf("INSERT INTO f VALUES (%d)", i))
+	}
+	s.Close()
+	deadline := time.After(5 * time.Second)
+	for d.Stats().Polls == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("buffer-full signal never triggered a poll")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	cancel()
+	<-runDone
+
+	ws := target.NewSession()
+	defer ws.Close()
+	res := exec(t, ws, "SELECT COUNT(*) FROM "+workloaddb.Workload)
+	if res.Rows[0][0].I == 0 {
+		t.Error("nothing persisted by the full-triggered poll")
+	}
+}
+
+func TestMonitorFullHandlerRearms(t *testing.T) {
+	mon := monitor.New(monitor.Config{WorkloadCapacity: 10})
+	var fires int
+	mon.SetFullHandler(func() { fires++ })
+	fill := func() {
+		for i := 0; i < 10; i++ {
+			h := mon.StartStatement(fmt.Sprintf("SELECT %d", i))
+			h.Parsed("SELECT", nil)
+			h.Finish(1, 0, 1, nil)
+		}
+	}
+	fill()
+	if fires != 1 {
+		t.Fatalf("fires = %d after first fill", fires)
+	}
+	fill() // without a drain, the handler stays disarmed
+	if fires != 1 {
+		t.Fatalf("fires = %d without drain", fires)
+	}
+	mon.DrainWorkload()
+	fill()
+	if fires != 2 {
+		t.Fatalf("fires = %d after drain+fill", fires)
+	}
+}

@@ -1,0 +1,206 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/monitor"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// evalConst evaluates an expression with no row context (INSERT
+// values).
+func evalConst(e sqlparser.Expr, params []sqltypes.Value) (sqltypes.Value, error) {
+	c, err := expr.Bind(e, noColumns{})
+	if err != nil {
+		return sqltypes.Value{}, err
+	}
+	return c.Eval(&expr.Env{Params: params})
+}
+
+type noColumns struct{}
+
+func (noColumns) Resolve(table, column string) (int, sqltypes.Type, error) {
+	return 0, 0, fmt.Errorf("engine: column references are not allowed here")
+}
+
+func (db *DB) execInsert(st *sqlparser.InsertStmt, params []sqltypes.Value, h *monitor.Handle) (*Result, error) {
+	th := db.handle(st.Table)
+	if th == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
+	}
+	schema := th.meta.Schema
+
+	// Column mapping: position i of the VALUES row goes to colMap[i].
+	colMap := make([]int, 0, schema.Len())
+	if len(st.Columns) == 0 {
+		for i := 0; i < schema.Len(); i++ {
+			colMap = append(colMap, i)
+		}
+	} else {
+		for _, c := range st.Columns {
+			idx := schema.ColIndex(c)
+			if idx < 0 {
+				return nil, fmt.Errorf("engine: unknown column %s.%s", st.Table, c)
+			}
+			colMap = append(colMap, idx)
+		}
+	}
+
+	var inserted int64
+	for _, valueRow := range st.Rows {
+		if len(valueRow) != len(colMap) {
+			return nil, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(valueRow), len(colMap))
+		}
+		row := make(sqltypes.Row, schema.Len())
+		for i := range row {
+			row[i] = sqltypes.NullValue()
+		}
+		for i, e := range valueRow {
+			v, err := evalConst(e, params)
+			if err != nil {
+				return nil, err
+			}
+			row[colMap[i]] = v
+		}
+		coerced, err := coerceRow(schema, row)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := db.insertRow(th, coerced); err != nil {
+			return nil, err
+		}
+		inserted++
+	}
+	db.syncMeta(th)
+	return &Result{RowsAffected: inserted}, nil
+}
+
+// matchRows scans a table and returns TIDs and rows matching the
+// predicate (nil matches everything).
+func (db *DB) matchRows(th *tableHandle, where sqlparser.Expr, params []sqltypes.Value) ([]storage.TID, []sqltypes.Row, error) {
+	var pred expr.Compiled
+	if where != nil {
+		res := &expr.SimpleResolver{}
+		alias := strings.ToLower(th.meta.Name)
+		for _, c := range th.meta.Schema.Columns {
+			res.Cols = append(res.Cols, expr.ResolvedCol{Table: alias, Name: c.Name, Type: c.Type})
+		}
+		var err error
+		if pred, err = expr.Bind(where, res); err != nil {
+			return nil, nil, err
+		}
+	}
+	env := expr.Env{Params: params}
+	var tids []storage.TID
+	var rows []sqltypes.Row
+	it := th.heap.Iter()
+	for {
+		tid, rec, ok, err := it.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return tids, rows, nil
+		}
+		row, err := sqltypes.DecodeRow(rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pred != nil {
+			env.Row = row
+			v, err := pred.Eval(&env)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !v.Bool() {
+				continue
+			}
+		}
+		tids = append(tids, tid)
+		rows = append(rows, row)
+	}
+}
+
+func (db *DB) execUpdate(st *sqlparser.UpdateStmt, params []sqltypes.Value, h *monitor.Handle) (*Result, error) {
+	th := db.handle(st.Table)
+	if th == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
+	}
+	schema := th.meta.Schema
+
+	// Bind SET expressions against the table row.
+	res := &expr.SimpleResolver{}
+	alias := strings.ToLower(th.meta.Name)
+	for _, c := range schema.Columns {
+		res.Cols = append(res.Cols, expr.ResolvedCol{Table: alias, Name: c.Name, Type: c.Type})
+	}
+	type setC struct {
+		idx int
+		c   expr.Compiled
+	}
+	var sets []setC
+	for _, sc := range st.Set {
+		idx := schema.ColIndex(sc.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: unknown column %s.%s", st.Table, sc.Column)
+		}
+		ce, err := expr.Bind(sc.Expr, res)
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, setC{idx: idx, c: ce})
+	}
+
+	tids, rows, err := db.matchRows(th, st.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	env := expr.Env{Params: params}
+	for i, tid := range tids {
+		old := rows[i]
+		updated := old.Clone()
+		env.Row = old
+		for _, sc := range sets {
+			v, err := sc.c.Eval(&env)
+			if err != nil {
+				return nil, err
+			}
+			updated[sc.idx] = v
+		}
+		coerced, err := coerceRow(schema, updated)
+		if err != nil {
+			return nil, err
+		}
+		// Update = delete + insert so index entries always track TIDs.
+		if err := db.deleteRow(th, tid, old); err != nil {
+			return nil, err
+		}
+		if _, err := db.insertRow(th, coerced); err != nil {
+			return nil, err
+		}
+	}
+	db.syncMeta(th)
+	return &Result{RowsAffected: int64(len(tids))}, nil
+}
+
+func (db *DB) execDelete(st *sqlparser.DeleteStmt, params []sqltypes.Value, h *monitor.Handle) (*Result, error) {
+	th := db.handle(st.Table)
+	if th == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
+	}
+	tids, rows, err := db.matchRows(th, st.Where, params)
+	if err != nil {
+		return nil, err
+	}
+	for i, tid := range tids {
+		if err := db.deleteRow(th, tid, rows[i]); err != nil {
+			return nil, err
+		}
+	}
+	db.syncMeta(th)
+	return &Result{RowsAffected: int64(len(tids))}, nil
+}

@@ -1,0 +1,365 @@
+// Package engine ties the substrates together into an embedded
+// relational DBMS: catalog, paged storage, lock manager, optimizer,
+// executor, plan cache — and the integrated monitor, whose sensors sit
+// directly in the statement path exactly as the paper prescribes
+// (part of each module, not a watchdog on top).
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+	"repro/internal/lock"
+	"repro/internal/monitor"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// Config configures a database instance.
+type Config struct {
+	// Dir is the database directory (created if absent).
+	Dir string
+	// PoolPages sizes the shared buffer pool (default 2048 pages =
+	// 8 MiB).
+	PoolPages int
+	// Monitor is the integrated monitor; nil runs the engine without
+	// any monitoring code active — the paper's "Original" setup.
+	Monitor *monitor.Monitor
+	// PlanCacheSize bounds the number of cached prepared plans
+	// (default 512).
+	PlanCacheSize int
+}
+
+// DB is an embedded database instance.
+type DB struct {
+	dir   string
+	cat   *catalog.Catalog
+	pool  *storage.Pool
+	locks *lock.Manager
+	mon   *monitor.Monitor
+
+	mu      sync.RWMutex // guards tables and virtual maps
+	tables  map[string]*tableHandle
+	virtual map[string]*virtualTable
+
+	plans *planCache
+
+	nextSession     atomic.Int64
+	currentSessions atomic.Int64
+	peakSessions    atomic.Int64
+	statements      atomic.Int64
+}
+
+type tableHandle struct {
+	meta    *catalog.Table
+	heap    *storage.Heap
+	primary *storage.BTree            // non-nil iff Structure == BTREE
+	indexes map[string]*storage.BTree // real secondary indexes by lower name
+}
+
+type virtualTable struct {
+	meta     *catalog.Table
+	provider func() []sqltypes.Row
+}
+
+// Open opens (or creates) the database in cfg.Dir.
+func Open(cfg Config) (*DB, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("engine: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("engine: %w", err)
+	}
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = 2048
+	}
+	if cfg.PlanCacheSize <= 0 {
+		cfg.PlanCacheSize = 512
+	}
+	cat, err := catalog.Load(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		dir:     cfg.Dir,
+		cat:     cat,
+		pool:    storage.NewPool(cfg.PoolPages),
+		locks:   lock.NewManager(),
+		mon:     cfg.Monitor,
+		tables:  map[string]*tableHandle{},
+		virtual: map[string]*virtualTable{},
+		plans:   newPlanCache(cfg.PlanCacheSize),
+	}
+	for _, t := range cat.Tables() {
+		if err := db.openTable(t); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func (db *DB) tablePath(name string) string {
+	return filepath.Join(db.dir, "t_"+strings.ToLower(name)+".dat")
+}
+
+func (db *DB) primaryPath(name string) string {
+	return filepath.Join(db.dir, "p_"+strings.ToLower(name)+".dat")
+}
+
+func (db *DB) indexPath(name string) string {
+	return filepath.Join(db.dir, "i_"+strings.ToLower(name)+".dat")
+}
+
+// openTable opens the storage files behind a catalog table.
+func (db *DB) openTable(meta *catalog.Table) error {
+	f, err := storage.OpenFile(db.tablePath(meta.Name), db.pool)
+	if err != nil {
+		return err
+	}
+	h := &tableHandle{
+		meta:    meta,
+		heap:    storage.OpenHeap(f, meta.MainPages, meta.Rows),
+		indexes: map[string]*storage.BTree{},
+	}
+	if meta.Structure == catalog.BTree {
+		pf, err := storage.OpenFile(db.primaryPath(meta.Name), db.pool)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if pf.Pages() == 0 {
+			h.primary, err = storage.CreateBTree(pf)
+		} else {
+			h.primary, err = storage.OpenBTree(pf)
+		}
+		if err != nil {
+			f.Close()
+			pf.Close()
+			return err
+		}
+	}
+	for _, ix := range db.cat.TableIndexes(meta.Name, false) {
+		xf, err := storage.OpenFile(db.indexPath(ix.Name), db.pool)
+		if err != nil {
+			return err
+		}
+		var bt *storage.BTree
+		if xf.Pages() == 0 {
+			bt, err = storage.CreateBTree(xf)
+		} else {
+			bt, err = storage.OpenBTree(xf)
+		}
+		if err != nil {
+			xf.Close()
+			return err
+		}
+		h.indexes[strings.ToLower(ix.Name)] = bt
+	}
+	db.mu.Lock()
+	db.tables[strings.ToLower(meta.Name)] = h
+	db.mu.Unlock()
+	return nil
+}
+
+func (db *DB) handle(name string) *tableHandle {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToLower(name)]
+}
+
+func (db *DB) virtualTable(name string) *virtualTable {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.virtual[strings.ToLower(name)]
+}
+
+// RegisterVirtual exposes an in-memory row provider as a read-only
+// virtual table — the IMA mechanism: each class of in-memory objects
+// is registered as a table and becomes queryable over plain SQL.
+func (db *DB) RegisterVirtual(name string, schema sqltypes.Schema, provider func() []sqltypes.Row) error {
+	if db.handle(name) != nil || db.cat.Table(name) != nil {
+		return fmt.Errorf("engine: table %s already exists", name)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := db.virtual[key]; dup {
+		return fmt.Errorf("engine: virtual table %s already registered", name)
+	}
+	db.virtual[key] = &virtualTable{
+		meta: &catalog.Table{
+			Name:      name,
+			Schema:    schema,
+			Structure: catalog.Heap,
+			MainPages: 1,
+			Rows:      64, // nominal planning estimate
+		},
+		provider: provider,
+	}
+	return nil
+}
+
+// Monitor returns the attached monitor, or nil.
+func (db *DB) Monitor() *monitor.Monitor { return db.mon }
+
+// Catalog returns the system catalog.
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// LockStats returns lock-manager counters (Figure 8's data source).
+func (db *DB) LockStats() lock.Stats { return db.locks.Stats() }
+
+// PoolStats returns buffer-pool counters.
+func (db *DB) PoolStats() storage.PoolStats { return db.pool.Stats() }
+
+// Dir returns the database directory.
+func (db *DB) Dir() string { return db.dir }
+
+// SizeBytes returns the total on-disk size of all table and index
+// files — the "size of the data files" measure of the paper's
+// Figure 7.
+func (db *DB) SizeBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var total int64
+	for _, h := range db.tables {
+		total += h.heap.File().SizeBytes()
+		if h.primary != nil {
+			total += h.primary.File().SizeBytes()
+		}
+		for _, ix := range h.indexes {
+			total += ix.File().SizeBytes()
+		}
+	}
+	return total
+}
+
+// syncMeta copies runtime counters into the catalog entry (main pages
+// and row counts drift during DML).
+func (db *DB) syncMeta(h *tableHandle) {
+	h.meta.Rows = h.heap.Rows()
+	h.meta.MainPages = h.heap.MainPages()
+}
+
+// Checkpoint flushes all dirty pages and persists the catalog.
+func (db *DB) Checkpoint() error {
+	db.mu.RLock()
+	handles := make([]*tableHandle, 0, len(db.tables))
+	for _, h := range db.tables {
+		handles = append(handles, h)
+	}
+	db.mu.RUnlock()
+	for _, h := range handles {
+		db.syncMeta(h)
+		if err := h.heap.File().Flush(); err != nil {
+			return err
+		}
+		if h.primary != nil {
+			if err := h.primary.File().Flush(); err != nil {
+				return err
+			}
+		}
+		for _, ix := range h.indexes {
+			if err := ix.File().Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return db.cat.Save()
+}
+
+// Close checkpoints and closes every file.
+func (db *DB) Close() error {
+	var firstErr error
+	if err := db.Checkpoint(); err != nil {
+		firstErr = err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, h := range db.tables {
+		if err := h.heap.File().Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if h.primary != nil {
+			if err := h.primary.File().Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		for _, ix := range h.indexes {
+			if err := ix.File().Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	db.tables = map[string]*tableHandle{}
+	return firstErr
+}
+
+// SystemStats is the engine-wide statistics sample the IMA statistics
+// table and the storage daemon publish (the paper's third monitoring
+// category).
+type SystemStats struct {
+	CurrentSessions int64
+	PeakSessions    int64
+	Statements      int64
+	LocksHeld       int64
+	LockWaits       int64
+	Deadlocks       int64
+	CacheHits       int64
+	CacheMisses     int64
+	DiskReads       int64
+	DiskWrites      int64
+	DBBytes         int64
+}
+
+// Stats samples the engine-wide statistics.
+func (db *DB) Stats() SystemStats {
+	ls := db.locks.Stats()
+	ps := db.pool.Stats()
+	return SystemStats{
+		CurrentSessions: db.currentSessions.Load(),
+		PeakSessions:    db.peakSessions.Load(),
+		Statements:      db.statements.Load(),
+		LocksHeld:       int64(ls.Held),
+		LockWaits:       ls.Waits,
+		Deadlocks:       ls.Deadlocks,
+		CacheHits:       ps.Hits,
+		CacheMisses:     ps.Misses,
+		DiskReads:       ps.DiskReads,
+		DiskWrites:      ps.DiskWrite,
+		DBBytes:         db.SizeBytes(),
+	}
+}
+
+// executorStorage adapts the DB to the executor's Storage interface.
+type executorStorage struct{ db *DB }
+
+var _ executor.Storage = executorStorage{}
+
+// TableState is the physical state of one table, as the IMA tables
+// report it.
+type TableState struct {
+	Pages         uint32
+	OverflowPages uint32
+	Rows          int64
+}
+
+// TableState returns the physical state of the named table (zeroes for
+// unknown or virtual tables).
+func (db *DB) TableState(name string) TableState {
+	h := db.handle(name)
+	if h == nil {
+		return TableState{}
+	}
+	return TableState{
+		Pages:         h.heap.Pages(),
+		OverflowPages: h.heap.OverflowPages(),
+		Rows:          h.heap.Rows(),
+	}
+}

@@ -1,0 +1,382 @@
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+	"repro/internal/lock"
+	"repro/internal/monitor"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+const (
+	lockS = lock.Shared
+	lockX = lock.Exclusive
+)
+
+// Session is one client connection. Sessions are not safe for
+// concurrent use; open one per goroutine.
+//
+// By default every statement releases its locks when it completes. A
+// Begin/Commit pair switches to transaction-scoped locking: locks
+// accumulate until Commit or Rollback, which makes multi-table write
+// transactions — and therefore lock waits and deadlocks — possible,
+// as the paper's Figure 8 locking statistics show.
+type Session struct {
+	db     *DB
+	id     int64
+	closed bool
+	inTxn  bool
+}
+
+// Begin starts a transaction: locks are held until Commit or Rollback.
+func (s *Session) Begin() { s.inTxn = true }
+
+// Commit ends the transaction and releases its locks.
+func (s *Session) Commit() {
+	s.inTxn = false
+	s.db.locks.ReleaseAll(s.id)
+}
+
+// Rollback ends the transaction and releases its locks. Data changes
+// are not undone — the engine provides lock isolation, not MVCC
+// rollback (the paper's experiments only need the locking system).
+func (s *Session) Rollback() {
+	s.inTxn = false
+	s.db.locks.ReleaseAll(s.id)
+}
+
+// NewSession opens a session.
+func (db *DB) NewSession() *Session {
+	cur := db.currentSessions.Add(1)
+	for {
+		peak := db.peakSessions.Load()
+		if cur <= peak || db.peakSessions.CompareAndSwap(peak, cur) {
+			break
+		}
+	}
+	return &Session{db: db, id: db.nextSession.Add(1)}
+}
+
+// Close releases the session.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.db.locks.ReleaseAll(s.id)
+	s.db.currentSessions.Add(-1)
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns      []string
+	Rows         []sqltypes.Row
+	RowsAffected int64
+	// Plan is the optimizer plan for SELECTs (nil for other
+	// statements); shared with the plan cache — read-only.
+	Plan *optimizer.Plan
+}
+
+// Exec parses, plans and executes one SQL statement. This is the
+// monitored statement path of the paper's Figure 2: wallclock start,
+// parser sensor, optimizer sensor, execution cost sensor, wallclock
+// stop.
+func (s *Session) Exec(sql string) (*Result, error) {
+	db := s.db
+	db.statements.Add(1)
+
+	h := db.mon.StartStatement(sql)
+
+	parsed, err := sqlparser.ParseNormalized(sql)
+	if err != nil {
+		h.Finish(0, 0, 0, err)
+		return nil, err
+	}
+	stmt := parsed.Stmt
+	tables := sqlparser.ReferencedTables(stmt)
+	h.Parsed(stmt.Kind(), tables)
+
+	// Lock acquisition, in sorted order to reduce deadlocks. Virtual
+	// tables are lock-free snapshots.
+	mode := lockX
+	if _, isSel := stmt.(*sqlparser.SelectStmt); isSel {
+		mode = lockS
+	}
+	var locked []string
+	for _, t := range tables {
+		key := strings.ToLower(t)
+		if db.virtualTable(key) != nil {
+			continue
+		}
+		locked = append(locked, key)
+	}
+	sort.Strings(locked)
+	for _, t := range locked {
+		if err := db.locks.Acquire(s.id, t, mode); err != nil {
+			// A deadlock victim aborts its whole transaction.
+			db.locks.ReleaseAll(s.id)
+			s.inTxn = false
+			h.Finish(0, 0, 0, err)
+			return nil, err
+		}
+	}
+	if !s.inTxn {
+		defer db.locks.ReleaseAll(s.id)
+	}
+
+	var res *Result
+	switch st := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		res, err = s.execSelect(st, parsed, h)
+	case *sqlparser.ExplainStmt:
+		res, err = s.execExplain(st, parsed)
+	case *sqlparser.CreateTableStmt:
+		res, err = db.execCreateTable(st)
+	case *sqlparser.DropTableStmt:
+		res, err = db.execDropTable(st)
+	case *sqlparser.CreateIndexStmt:
+		res, err = db.execCreateIndex(st)
+	case *sqlparser.DropIndexStmt:
+		res, err = db.execDropIndex(st)
+	case *sqlparser.ModifyStmt:
+		res, err = db.execModify(st)
+	case *sqlparser.CreateStatisticsStmt:
+		res, err = db.execCreateStatistics(st)
+	case *sqlparser.InsertStmt:
+		res, err = db.execInsert(st, parsed.Params, h)
+	case *sqlparser.UpdateStmt:
+		res, err = db.execUpdate(st, parsed.Params, h)
+	case *sqlparser.DeleteStmt:
+		res, err = db.execDelete(st, parsed.Params, h)
+	default:
+		err = fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+	if err != nil {
+		h.Finish(0, 0, 0, err)
+		return nil, err
+	}
+	if _, isSel := stmt.(*sqlparser.SelectStmt); !isSel {
+		// DDL/DML sensors: execCreate*/execInsert record their own
+		// costs through the handle when meaningful; here we only stop
+		// the wallclock for statements that did not.
+		h.Finish(res.RowsAffected, 0, int64(len(res.Rows)), nil)
+	}
+	return res, nil
+}
+
+// Query is Exec restricted to statements returning rows.
+func (s *Session) Query(sql string) (*Result, error) { return s.Exec(sql) }
+
+func (s *Session) execSelect(st *sqlparser.SelectStmt, parsed *sqlparser.ParseResult, h *monitor.Handle) (*Result, error) {
+	db := s.db
+	entry, ok := db.plans.get(parsed.Normalized)
+	if !ok {
+		t0 := time.Now()
+		plan, err := optimizer.PlanSelect(st, db.catalogView(), optimizer.Options{Params: parsed.Params})
+		if err != nil {
+			return nil, err
+		}
+		prep, err := executor.Compile(plan)
+		if err != nil {
+			return nil, err
+		}
+		entry = &planEntry{plan: plan, prep: prep, optTime: time.Since(t0)}
+		db.plans.put(parsed.Normalized, entry)
+		h.Optimized(plan.Est.CPU, plan.Est.IO, plan.Est.Rows, plan.Attributes, plan.UsedIndexes, entry.optTime)
+	} else {
+		// Cache hit: the optimizer was bypassed entirely; estimates
+		// come from the cached plan.
+		h.Optimized(entry.plan.Est.CPU, entry.plan.Est.IO, entry.plan.Est.Rows,
+			entry.plan.Attributes, entry.plan.UsedIndexes, 0)
+	}
+
+	ctx := executor.Ctx{Params: parsed.Params}
+	io0 := db.pool.Stats()
+	it, err := entry.prep.Run(executorStorage{db}, &ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := executor.Collect(it)
+	io1 := db.pool.Stats()
+	ioDelta := (io1.Misses - io0.Misses) + (io1.DiskWrite - io0.DiskWrite)
+	h.Finish(ctx.Tuples, ioDelta, int64(len(rows)), err)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(entry.prep.Columns()))
+	for i, c := range entry.prep.Columns() {
+		cols[i] = c.Name
+	}
+	return &Result{Columns: cols, Rows: rows, Plan: entry.plan}, nil
+}
+
+// execExplain handles the SQL form of EXPLAIN: it plans the embedded
+// SELECT (optionally admitting virtual indexes with WHATIF) and
+// returns the rendered plan as rows.
+func (s *Session) execExplain(st *sqlparser.ExplainStmt, parsed *sqlparser.ParseResult) (*Result, error) {
+	plan, err := optimizer.PlanSelect(st.Select, s.db.catalogView(), optimizer.Options{
+		Params:             parsed.Params,
+		WithVirtualIndexes: st.WhatIf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: []string{"plan"}, Plan: plan}
+	for _, line := range strings.Split(strings.TrimRight(plan.String(), "\n"), "\n") {
+		res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewText(line)})
+	}
+	res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewText(fmt.Sprintf(
+		"estimated: cpu=%.0f io=%.0f rows=%.0f total=%.1f",
+		plan.Est.CPU, plan.Est.IO, plan.Est.Rows, plan.Est.Total()))})
+	return res, nil
+}
+
+// Explain plans a SELECT without executing it and returns the plan,
+// optionally admitting virtual indexes (what-if mode).
+func (s *Session) Explain(sql string, withVirtual bool) (*optimizer.Plan, error) {
+	parsed, err := sqlparser.ParseNormalized(sql)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := parsed.Stmt.(*sqlparser.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("engine: EXPLAIN supports SELECT only")
+	}
+	return optimizer.PlanSelect(st, s.db.catalogView(), optimizer.Options{
+		Params:             parsed.Params,
+		WithVirtualIndexes: withVirtual,
+	})
+}
+
+// planEntry is one cached prepared statement.
+type planEntry struct {
+	plan    *optimizer.Plan
+	prep    *executor.Prepared
+	optTime time.Duration
+}
+
+// planCache is a small LRU over normalized statement text. The warm
+// cache is what collapses per-statement cost for repeated statement
+// shapes — the effect behind the paper's Figure 5.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List
+}
+
+type planCacheEntry struct {
+	key   string
+	entry *planEntry
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{cap: capacity, m: map[string]*list.Element{}, lru: list.New()}
+}
+
+func (c *planCache) get(key string) (*planEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*planCacheEntry).entry, true
+}
+
+func (c *planCache) put(key string, e *planEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*planCacheEntry).entry = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&planCacheEntry{key: key, entry: e})
+	c.m[key] = el
+	for len(c.m) > c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.m, last.Value.(*planCacheEntry).key)
+	}
+}
+
+// Invalidate drops every cached plan; DDL and statistics changes call
+// it so new plans see the new physical design.
+func (c *planCache) invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = map[string]*list.Element{}
+	c.lru = list.New()
+}
+
+// InvalidatePlans clears the plan cache (exported for the analyzer,
+// which changes the physical design out-of-band).
+func (db *DB) InvalidatePlans() { db.plans.invalidate() }
+
+// catalogView adapts the DB to the optimizer's CatalogView.
+func (db *DB) catalogView() optimizer.CatalogView { return catView{db} }
+
+type catView struct{ db *DB }
+
+func (v catView) Table(name string) *catalog.Table {
+	if vt := v.db.virtualTable(name); vt != nil {
+		return vt.meta
+	}
+	return v.db.cat.Table(name)
+}
+
+func (v catView) TableIndexes(name string, withVirtual bool) []*catalog.Index {
+	return v.db.cat.TableIndexes(name, withVirtual)
+}
+
+func (v catView) Histogram(table, col string) *catalog.Histogram {
+	return v.db.cat.Histogram(table, col)
+}
+
+func (v catView) TableStats(name string) (optimizer.TableStats, bool) {
+	if vt := v.db.virtualTable(name); vt != nil {
+		return optimizer.TableStats{Rows: vt.meta.Rows, Pages: 1}, true
+	}
+	h := v.db.handle(name)
+	if h == nil {
+		return optimizer.TableStats{}, false
+	}
+	st := optimizer.TableStats{Rows: h.heap.Rows(), Pages: h.heap.Pages()}
+	if h.primary != nil {
+		if ht, err := h.primary.Height(); err == nil {
+			st.BTreeHeight = ht
+		}
+	}
+	return st, true
+}
+
+func (v catView) IndexStats(name string) (optimizer.IndexStats, bool) {
+	ix := v.db.cat.Index(name)
+	if ix == nil || ix.Virtual {
+		return optimizer.IndexStats{}, false
+	}
+	h := v.db.handle(ix.Table)
+	if h == nil {
+		return optimizer.IndexStats{}, false
+	}
+	bt := h.indexes[strings.ToLower(name)]
+	if bt == nil {
+		return optimizer.IndexStats{}, false
+	}
+	height, err := bt.Height()
+	if err != nil {
+		return optimizer.IndexStats{}, false
+	}
+	return optimizer.IndexStats{Pages: bt.File().Pages(), Height: height}, true
+}

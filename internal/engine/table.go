@@ -1,0 +1,412 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/executor"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// MaxTextBytes bounds text column values so that every row fits a
+// B-Tree entry after encoding.
+const MaxTextBytes = 512
+
+// coerceRow validates and coerces a row against the table schema:
+// ints widen to floats, anything else must match or be NULL.
+func coerceRow(schema sqltypes.Schema, row sqltypes.Row) (sqltypes.Row, error) {
+	if len(row) != schema.Len() {
+		return nil, fmt.Errorf("engine: row has %d values, table has %d columns", len(row), schema.Len())
+	}
+	out := make(sqltypes.Row, len(row))
+	for i, v := range row {
+		col := schema.Columns[i]
+		switch {
+		case v.IsNull():
+			out[i] = v
+		case v.T == col.Type:
+			if v.T == sqltypes.Text && len(v.S) > MaxTextBytes {
+				return nil, fmt.Errorf("engine: value for %s exceeds %d bytes", col.Name, MaxTextBytes)
+			}
+			out[i] = v
+		case col.Type == sqltypes.Float && v.T == sqltypes.Int:
+			out[i] = sqltypes.NewFloat(float64(v.I))
+		case col.Type == sqltypes.Int && v.T == sqltypes.Float && v.F == float64(int64(v.F)):
+			out[i] = sqltypes.NewInt(int64(v.F))
+		default:
+			return nil, fmt.Errorf("engine: type mismatch for column %s: %s value into %s column",
+				col.Name, v.T, col.Type)
+		}
+	}
+	return out, nil
+}
+
+// keyFor builds the order-preserving key of the given columns.
+func keyFor(schema sqltypes.Schema, row sqltypes.Row, cols []string) ([]byte, error) {
+	var key []byte
+	for _, c := range cols {
+		idx := schema.ColIndex(c)
+		if idx < 0 {
+			return nil, fmt.Errorf("engine: key column %q not in schema", c)
+		}
+		key = sqltypes.EncodeKey(key, row[idx])
+	}
+	return key, nil
+}
+
+// tidSuffix appends the TID to an index key so duplicate key values
+// stay unique. The TID is encoded with EncodeKey so that its first
+// byte can never be 0xFF (range upper bounds rely on that).
+func tidSuffix(key []byte, tid storage.TID) []byte {
+	return sqltypes.EncodeKey(key, sqltypes.NewInt(int64(tid)))
+}
+
+func tidBytes(tid storage.TID) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(tid))
+	return b[:]
+}
+
+func tidFromBytes(b []byte) storage.TID {
+	return storage.TID(binary.BigEndian.Uint64(b))
+}
+
+// storageKey returns the columns the BTREE primary structure clusters
+// on: the explicit storage key if set, else the primary key.
+func storageKey(meta *catalog.Table) []string {
+	if len(meta.StorageKey) > 0 {
+		return meta.StorageKey
+	}
+	return meta.PrimaryKey
+}
+
+// insertRow inserts a coerced row into the table, maintaining the
+// primary structure and all secondary indexes. Uniqueness is enforced
+// by unique secondary indexes (the auto-created pk_<table> index), not
+// by the storage structure, which may cluster on non-unique keys. The
+// caller must hold the table's X lock.
+func (db *DB) insertRow(h *tableHandle, row sqltypes.Row) (storage.TID, error) {
+	var pkey []byte
+	if h.primary != nil {
+		var err error
+		pkey, err = keyFor(h.meta.Schema, row, storageKey(h.meta))
+		if err != nil {
+			return 0, err
+		}
+	}
+	for _, ix := range db.cat.TableIndexes(h.meta.Name, false) {
+		if !ix.Unique {
+			continue
+		}
+		bt := h.indexes[strings.ToLower(ix.Name)]
+		if bt == nil {
+			continue
+		}
+		key, err := keyFor(h.meta.Schema, row, ix.Columns)
+		if err != nil {
+			return 0, err
+		}
+		if existsInRange(bt, key) {
+			return 0, fmt.Errorf("engine: duplicate key for unique index %s", ix.Name)
+		}
+	}
+
+	rec := sqltypes.EncodeRow(nil, row)
+	tid, err := h.heap.Insert(rec)
+	if err != nil {
+		return 0, err
+	}
+	if h.primary != nil {
+		if err := h.primary.Put(tidSuffix(pkey, tid), tidBytes(tid)); err != nil {
+			return 0, err
+		}
+	}
+	for name, bt := range h.indexes {
+		ix := db.cat.Index(name)
+		if ix == nil {
+			continue
+		}
+		key, err := keyFor(h.meta.Schema, row, ix.Columns)
+		if err != nil {
+			return 0, err
+		}
+		if err := bt.Put(tidSuffix(key, tid), tidBytes(tid)); err != nil {
+			return 0, err
+		}
+	}
+	return tid, nil
+}
+
+// existsInRange reports whether any entry starts with the given key
+// prefix.
+func existsInRange(bt *storage.BTree, prefix []byte) bool {
+	it := bt.Seek(prefix)
+	if !it.Next() {
+		return false
+	}
+	k := it.Key()
+	return len(k) >= len(prefix) && string(k[:len(prefix)]) == string(prefix)
+}
+
+// deleteRow removes the row at tid, maintaining indexes. The caller
+// must hold the table's X lock and pass the decoded row.
+func (db *DB) deleteRow(h *tableHandle, tid storage.TID, row sqltypes.Row) error {
+	if err := h.heap.Delete(tid); err != nil {
+		return err
+	}
+	if h.primary != nil {
+		pkey, err := keyFor(h.meta.Schema, row, storageKey(h.meta))
+		if err != nil {
+			return err
+		}
+		if _, err := h.primary.Delete(tidSuffix(pkey, tid)); err != nil {
+			return err
+		}
+	}
+	for name, bt := range h.indexes {
+		ix := db.cat.Index(name)
+		if ix == nil {
+			continue
+		}
+		key, err := keyFor(h.meta.Schema, row, ix.Columns)
+		if err != nil {
+			return err
+		}
+		if _, err := bt.Delete(tidSuffix(key, tid)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BulkInsert loads rows into a table efficiently, bypassing SQL but
+// maintaining structures and uniqueness like the normal path. Used by
+// the workload generator.
+func (db *DB) BulkInsert(table string, rows []sqltypes.Row) error {
+	h := db.handle(table)
+	if h == nil {
+		return fmt.Errorf("engine: unknown table %q", table)
+	}
+	session := db.nextSession.Add(1)
+	if err := db.locks.Acquire(session, strings.ToLower(table), lockX); err != nil {
+		return err
+	}
+	defer db.locks.ReleaseAll(session)
+	for _, row := range rows {
+		coerced, err := coerceRow(h.meta.Schema, row)
+		if err != nil {
+			return err
+		}
+		if _, err := db.insertRow(h, coerced); err != nil {
+			return err
+		}
+	}
+	db.syncMeta(h)
+	return nil
+}
+
+// heapRowIter adapts a heap iterator to the executor's RowIter.
+type heapRowIter struct {
+	it *storage.HeapIter
+}
+
+func (r *heapRowIter) Next() (sqltypes.Row, bool, error) {
+	_, rec, ok, err := r.it.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	row, err := sqltypes.DecodeRow(rec)
+	if err != nil {
+		return nil, false, err
+	}
+	return row, true, nil
+}
+
+func (r *heapRowIter) Close() error { return nil }
+
+// btreeFetchIter walks a B-Tree key range whose values are TIDs and
+// fetches the base rows from the heap.
+type btreeFetchIter struct {
+	it   *storage.Iterator
+	hi   []byte
+	heap *storage.Heap
+}
+
+func (r *btreeFetchIter) Next() (sqltypes.Row, bool, error) {
+	for r.it.Next() {
+		if bytes.Compare(r.it.Key(), r.hi) >= 0 {
+			return nil, false, nil
+		}
+		tid := tidFromBytes(r.it.Value())
+		rec, ok, err := r.heap.Get(tid)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, fmt.Errorf("engine: dangling index entry for TID %v", tid)
+		}
+		row, err := sqltypes.DecodeRow(rec)
+		if err != nil {
+			return nil, false, err
+		}
+		return row, true, nil
+	}
+	return nil, false, r.it.Err()
+}
+
+func (r *btreeFetchIter) Close() error { return nil }
+
+// ScanTable implements executor.Storage.
+func (s executorStorage) ScanTable(name string) (executor.RowIter, error) {
+	if vt := s.db.virtualTable(name); vt != nil {
+		return &executor.SliceRowIter{Rows: vt.provider()}, nil
+	}
+	h := s.db.handle(name)
+	if h == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return &heapRowIter{it: h.heap.Iter()}, nil
+}
+
+// IndexRange implements executor.Storage.
+func (s executorStorage) IndexRange(table, index string, lo, hi []byte) (executor.RowIter, error) {
+	h := s.db.handle(table)
+	if h == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", table)
+	}
+	ix := s.db.cat.Index(index)
+	if ix == nil {
+		return nil, fmt.Errorf("engine: unknown index %q", index)
+	}
+	if ix.Virtual {
+		return nil, fmt.Errorf("engine: virtual index %s cannot be executed (what-if only)", index)
+	}
+	bt := h.indexes[strings.ToLower(index)]
+	if bt == nil {
+		return nil, fmt.Errorf("engine: index %s has no storage", index)
+	}
+	return &btreeFetchIter{it: bt.Seek(lo), hi: hi, heap: h.heap}, nil
+}
+
+// PrimaryRange implements executor.Storage.
+func (s executorStorage) PrimaryRange(table string, lo, hi []byte) (executor.RowIter, error) {
+	h := s.db.handle(table)
+	if h == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", table)
+	}
+	if h.primary == nil {
+		return nil, fmt.Errorf("engine: table %s has no primary B-Tree", table)
+	}
+	return &btreeFetchIter{it: h.primary.Seek(lo), hi: hi, heap: h.heap}, nil
+}
+
+// scanAll collects every row of a table with its TID (DML helper).
+func (db *DB) scanAll(h *tableHandle) ([]storage.TID, []sqltypes.Row, error) {
+	var tids []storage.TID
+	var rows []sqltypes.Row
+	it := h.heap.Iter()
+	for {
+		tid, rec, ok, err := it.Next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return tids, rows, nil
+		}
+		row, err := sqltypes.DecodeRow(rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		tids = append(tids, tid)
+		rows = append(rows, row)
+	}
+}
+
+// rebuildTable rewrites the heap compactly (ordered by key for BTREE)
+// and rebuilds the primary structure and every secondary index. Used
+// by MODIFY.
+func (db *DB) rebuildTable(h *tableHandle, structure catalog.Structure, keyCols []string) error {
+	_, rows, err := db.scanAll(h)
+	if err != nil {
+		return err
+	}
+	if structure == catalog.BTree {
+		if len(keyCols) == 0 {
+			return fmt.Errorf("engine: MODIFY TO BTREE needs key columns or a primary key on %s", h.meta.Name)
+		}
+		// Cluster rows by key order.
+		keys := make([][]byte, len(rows))
+		for i, r := range rows {
+			if keys[i], err = keyFor(h.meta.Schema, r, keyCols); err != nil {
+				return err
+			}
+		}
+		sort.SliceStable(rows, func(i, j int) bool { return string(keys[i]) < string(keys[j]) })
+	}
+
+	if err := h.heap.Truncate(); err != nil {
+		return err
+	}
+	// Reset or drop the primary structure file.
+	if h.primary != nil {
+		if err := h.primary.File().Remove(); err != nil {
+			return err
+		}
+		h.primary = nil
+	}
+	if structure == catalog.BTree {
+		pf, err := storage.OpenFile(db.primaryPath(h.meta.Name), db.pool)
+		if err != nil {
+			return err
+		}
+		if h.primary, err = storage.CreateBTree(pf); err != nil {
+			return err
+		}
+	} else {
+		// Make sure a stale primary file is gone.
+		_ = removeIfExists(db.primaryPath(h.meta.Name))
+	}
+	// Reset secondary index files.
+	for name, bt := range h.indexes {
+		if err := bt.File().Remove(); err != nil {
+			return err
+		}
+		xf, err := storage.OpenFile(db.indexPath(name), db.pool)
+		if err != nil {
+			return err
+		}
+		if h.indexes[name], err = storage.CreateBTree(xf); err != nil {
+			return err
+		}
+	}
+
+	h.meta.Structure = structure
+	if structure == catalog.BTree {
+		h.meta.StorageKey = keyCols
+	} else {
+		h.meta.StorageKey = nil
+	}
+	for _, row := range rows {
+		if _, err := db.insertRow(h, row); err != nil {
+			return err
+		}
+	}
+	// After a rebuild every page is a main page: no overflow.
+	h.heap.SetMainPages(h.heap.Pages())
+	db.syncMeta(h)
+	return db.cat.Save()
+}
+
+func removeIfExists(path string) error {
+	err := os.Remove(path)
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

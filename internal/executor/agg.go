@@ -1,0 +1,459 @@
+package executor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+	"repro/internal/sqltypes"
+)
+
+type aggC struct {
+	input   compiled
+	groupBy []expr.Compiled
+	aggs    []aggSpecC
+	having  expr.Compiled // bound against the agg output
+	outLen  int
+}
+
+type aggSpecC struct {
+	fn       string
+	star     bool
+	distinct bool
+	arg      expr.Compiled
+}
+
+func compileAgg(n *optimizer.Agg) (compiled, error) {
+	input, err := compileNode(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	inRes := resolverFor(n.Input.Out())
+	c := &aggC{input: input, outLen: len(n.Out())}
+	for _, g := range n.GroupBy {
+		ce, err := expr.Bind(g, inRes)
+		if err != nil {
+			return nil, err
+		}
+		c.groupBy = append(c.groupBy, ce)
+	}
+	for _, a := range n.Aggs {
+		spec := aggSpecC{fn: a.Func, star: a.Star, distinct: a.Distinct}
+		if a.Arg != nil {
+			if spec.arg, err = expr.Bind(a.Arg, inRes); err != nil {
+				return nil, err
+			}
+		}
+		c.aggs = append(c.aggs, spec)
+	}
+	if c.having, err = bindOpt(n.Having, resolverFor(n.Out())); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// aggState accumulates one group.
+type aggState struct {
+	groupVals sqltypes.Row
+	count     []int64
+	sum       []float64
+	sumI      []int64
+	intOnly   []bool
+	minMax    []sqltypes.Value
+	hasMM     []bool
+	seen      []map[string]bool // for DISTINCT
+}
+
+func (c *aggC) newState(groupVals sqltypes.Row) *aggState {
+	n := len(c.aggs)
+	st := &aggState{
+		groupVals: groupVals,
+		count:     make([]int64, n),
+		sum:       make([]float64, n),
+		sumI:      make([]int64, n),
+		intOnly:   make([]bool, n),
+		minMax:    make([]sqltypes.Value, n),
+		hasMM:     make([]bool, n),
+	}
+	for i := range st.intOnly {
+		st.intOnly[i] = true
+	}
+	st.seen = make([]map[string]bool, n)
+	for i, a := range c.aggs {
+		if a.distinct {
+			st.seen[i] = map[string]bool{}
+		}
+	}
+	return st
+}
+
+func (c *aggC) accumulate(st *aggState, env *expr.Env) error {
+	for i, a := range c.aggs {
+		if a.star {
+			st.count[i]++
+			continue
+		}
+		v, err := a.arg.Eval(env)
+		if err != nil {
+			return err
+		}
+		if v.IsNull() {
+			continue // aggregates skip NULLs
+		}
+		if a.distinct {
+			key := string(sqltypes.EncodeKey(nil, v))
+			if st.seen[i][key] {
+				continue
+			}
+			st.seen[i][key] = true
+		}
+		st.count[i]++
+		switch a.fn {
+		case "SUM", "AVG":
+			if v.T == sqltypes.Int {
+				st.sumI[i] += v.I
+			} else {
+				st.intOnly[i] = false
+			}
+			st.sum[i] += v.AsFloat()
+		case "MIN":
+			if !st.hasMM[i] || sqltypes.Compare(v, st.minMax[i]) < 0 {
+				st.minMax[i] = v
+				st.hasMM[i] = true
+			}
+		case "MAX":
+			if !st.hasMM[i] || sqltypes.Compare(v, st.minMax[i]) > 0 {
+				st.minMax[i] = v
+				st.hasMM[i] = true
+			}
+		}
+	}
+	return nil
+}
+
+func (c *aggC) finalize(st *aggState) (sqltypes.Row, error) {
+	row := make(sqltypes.Row, 0, c.outLen)
+	row = append(row, st.groupVals...)
+	for i, a := range c.aggs {
+		switch a.fn {
+		case "COUNT":
+			row = append(row, sqltypes.NewInt(st.count[i]))
+		case "SUM":
+			if st.count[i] == 0 {
+				row = append(row, sqltypes.NullValue())
+			} else if st.intOnly[i] {
+				row = append(row, sqltypes.NewInt(st.sumI[i]))
+			} else {
+				row = append(row, sqltypes.NewFloat(st.sum[i]))
+			}
+		case "AVG":
+			if st.count[i] == 0 {
+				row = append(row, sqltypes.NullValue())
+			} else {
+				row = append(row, sqltypes.NewFloat(st.sum[i]/float64(st.count[i])))
+			}
+		case "MIN", "MAX":
+			if !st.hasMM[i] {
+				row = append(row, sqltypes.NullValue())
+			} else {
+				row = append(row, st.minMax[i])
+			}
+		default:
+			return nil, fmt.Errorf("executor: unknown aggregate %q", a.fn)
+		}
+	}
+	return row, nil
+}
+
+func (c *aggC) open(rt *runtime) (RowIter, error) {
+	in, err := c.input.open(rt)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	env := expr.Env{Params: rt.ctx.Params}
+	groups := map[string]*aggState{}
+	var order []string // deterministic output: first-seen order
+	sawRow := false
+	for {
+		row, ok, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		sawRow = true
+		rt.ctx.Tuples++
+		env.Row = row
+		groupVals := make(sqltypes.Row, len(c.groupBy))
+		var keyBuf []byte
+		for i, g := range c.groupBy {
+			v, err := g.Eval(&env)
+			if err != nil {
+				return nil, err
+			}
+			groupVals[i] = v
+			keyBuf = sqltypes.EncodeKey(keyBuf, v)
+		}
+		key := string(keyBuf)
+		st := groups[key]
+		if st == nil {
+			st = c.newState(groupVals)
+			groups[key] = st
+			order = append(order, key)
+		}
+		if err := c.accumulate(st, &env); err != nil {
+			return nil, err
+		}
+	}
+	// A global aggregate over zero rows still yields one row.
+	if !sawRow && len(c.groupBy) == 0 {
+		st := c.newState(nil)
+		groups[""] = st
+		order = append(order, "")
+	}
+	rows := make([]sqltypes.Row, 0, len(order))
+	henv := expr.Env{Params: rt.ctx.Params}
+	for _, key := range order {
+		row, err := c.finalize(groups[key])
+		if err != nil {
+			return nil, err
+		}
+		if c.having != nil {
+			henv.Row = row
+			v, err := c.having.Eval(&henv)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Bool() {
+				continue
+			}
+		}
+		rows = append(rows, row)
+	}
+	return &sliceIter{rows: rows}, nil
+}
+
+type projectC struct {
+	input compiled
+	exprs []expr.Compiled
+}
+
+func compileProject(n *optimizer.Project) (compiled, error) {
+	input, err := compileNode(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	res := resolverFor(n.Input.Out())
+	c := &projectC{input: input}
+	for _, e := range n.Exprs {
+		ce, err := expr.Bind(e, res)
+		if err != nil {
+			return nil, err
+		}
+		c.exprs = append(c.exprs, ce)
+	}
+	return c, nil
+}
+
+func (c *projectC) open(rt *runtime) (RowIter, error) {
+	in, err := c.input.open(rt)
+	if err != nil {
+		return nil, err
+	}
+	return &projectIter{in: in, exprs: c.exprs, env: expr.Env{Params: rt.ctx.Params}, ctx: rt.ctx}, nil
+}
+
+type projectIter struct {
+	in    RowIter
+	exprs []expr.Compiled
+	env   expr.Env
+	ctx   *Ctx
+}
+
+func (it *projectIter) Next() (sqltypes.Row, bool, error) {
+	row, ok, err := it.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	it.ctx.Tuples++
+	it.env.Row = row
+	out := make(sqltypes.Row, len(it.exprs))
+	for i, e := range it.exprs {
+		if out[i], err = e.Eval(&it.env); err != nil {
+			return nil, false, err
+		}
+	}
+	return out, true, nil
+}
+
+func (it *projectIter) Close() error { return it.in.Close() }
+
+type sortC struct {
+	input compiled
+	keys  []optimizer.SortKey
+}
+
+func compileSort(n *optimizer.Sort) (compiled, error) {
+	input, err := compileNode(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	return &sortC{input: input, keys: n.Keys}, nil
+}
+
+func (c *sortC) open(rt *runtime) (RowIter, error) {
+	in, err := c.input.open(rt)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := Collect(in)
+	if err != nil {
+		return nil, err
+	}
+	rt.ctx.Tuples += int64(len(rows))
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range c.keys {
+			cmp := sqltypes.Compare(rows[i][k.Col], rows[j][k.Col])
+			if cmp == 0 {
+				continue
+			}
+			if k.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return &sliceIter{rows: rows}, nil
+}
+
+type distinctC struct{ input compiled }
+
+func compileDistinct(n *optimizer.Distinct) (compiled, error) {
+	input, err := compileNode(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	return &distinctC{input: input}, nil
+}
+
+func (c *distinctC) open(rt *runtime) (RowIter, error) {
+	in, err := c.input.open(rt)
+	if err != nil {
+		return nil, err
+	}
+	return &distinctIter{in: in, seen: map[string]bool{}, ctx: rt.ctx}, nil
+}
+
+type distinctIter struct {
+	in   RowIter
+	seen map[string]bool
+	ctx  *Ctx
+}
+
+func (it *distinctIter) Next() (sqltypes.Row, bool, error) {
+	for {
+		row, ok, err := it.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.ctx.Tuples++
+		key := string(sqltypes.EncodeKey(nil, row...))
+		if it.seen[key] {
+			continue
+		}
+		it.seen[key] = true
+		return row, true, nil
+	}
+}
+
+func (it *distinctIter) Close() error { return it.in.Close() }
+
+type limitC struct {
+	input  compiled
+	n      int64
+	offset int64
+}
+
+func compileLimit(n *optimizer.Limit) (compiled, error) {
+	input, err := compileNode(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	return &limitC{input: input, n: n.N, offset: n.Offset}, nil
+}
+
+func (c *limitC) open(rt *runtime) (RowIter, error) {
+	in, err := c.input.open(rt)
+	if err != nil {
+		return nil, err
+	}
+	return &limitIter{in: in, n: c.n, skip: c.offset}, nil
+}
+
+type limitIter struct {
+	in      RowIter
+	n       int64
+	skip    int64
+	yielded int64
+}
+
+func (it *limitIter) Next() (sqltypes.Row, bool, error) {
+	for it.skip > 0 {
+		_, ok, err := it.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.skip--
+	}
+	if it.n >= 0 && it.yielded >= it.n {
+		return nil, false, nil
+	}
+	row, ok, err := it.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	it.yielded++
+	return row, true, nil
+}
+
+func (it *limitIter) Close() error { return it.in.Close() }
+
+type stripC struct {
+	input compiled
+	keep  int
+}
+
+func compileStrip(n *optimizer.Strip) (compiled, error) {
+	input, err := compileNode(n.Input)
+	if err != nil {
+		return nil, err
+	}
+	return &stripC{input: input, keep: n.Keep}, nil
+}
+
+func (c *stripC) open(rt *runtime) (RowIter, error) {
+	in, err := c.input.open(rt)
+	if err != nil {
+		return nil, err
+	}
+	return &stripIter{in: in, keep: c.keep}, nil
+}
+
+type stripIter struct {
+	in   RowIter
+	keep int
+}
+
+func (it *stripIter) Next() (sqltypes.Row, bool, error) {
+	row, ok, err := it.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return row[:it.keep], true, nil
+}
+
+func (it *stripIter) Close() error { return it.in.Close() }

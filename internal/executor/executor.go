@@ -1,0 +1,159 @@
+// Package executor compiles optimizer plans into Volcano-style
+// iterators and runs them against a Storage implementation provided by
+// the engine. Compiled plans are immutable and reusable — the engine's
+// plan cache holds them across executions, which produces the cache
+// warm-up effect of the paper's Figure 5.
+package executor
+
+import (
+	"fmt"
+
+	"repro/internal/optimizer"
+	"repro/internal/sqltypes"
+)
+
+// RowIter produces rows one at a time. Implementations are not safe
+// for concurrent use.
+type RowIter interface {
+	Next() (sqltypes.Row, bool, error)
+	Close() error
+}
+
+// Storage is the data-access surface the executor runs against. Key
+// ranges use the order-preserving sqltypes.EncodeKey encoding; hi is
+// exclusive.
+type Storage interface {
+	// ScanTable iterates all rows of a base or virtual table.
+	ScanTable(name string) (RowIter, error)
+	// IndexRange yields base rows whose entry in the named secondary
+	// index falls in [lo, hi).
+	IndexRange(table, index string, lo, hi []byte) (RowIter, error)
+	// PrimaryRange yields rows of a BTREE-structured table whose
+	// primary key falls in [lo, hi).
+	PrimaryRange(table string, lo, hi []byte) (RowIter, error)
+}
+
+// Ctx carries per-execution state: bound parameters and the actual-CPU
+// counter the monitor records (one unit ≈ one tuple operation).
+type Ctx struct {
+	Params []sqltypes.Value
+	Tuples int64
+}
+
+// Prepared is a compiled, reusable plan.
+type Prepared struct {
+	root compiled
+	out  []optimizer.OutCol
+}
+
+// Columns returns the output column descriptions.
+func (p *Prepared) Columns() []optimizer.OutCol { return p.out }
+
+// Run opens the plan against storage. The returned iterator must be
+// closed.
+func (p *Prepared) Run(st Storage, ctx *Ctx) (RowIter, error) {
+	rt := &runtime{st: st, ctx: ctx}
+	return p.root.open(rt)
+}
+
+type runtime struct {
+	st  Storage
+	ctx *Ctx
+}
+
+// compiled is a factory for one plan operator's iterator.
+type compiled interface {
+	open(rt *runtime) (RowIter, error)
+}
+
+// Compile binds every expression in the plan and returns a reusable
+// Prepared.
+func Compile(plan *optimizer.Plan) (*Prepared, error) {
+	root, err := compileNode(plan.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{root: root, out: plan.Root.Out()}, nil
+}
+
+func compileNode(n optimizer.Node) (compiled, error) {
+	switch x := n.(type) {
+	case *optimizer.SeqScan:
+		return compileSeqScan(x)
+	case *optimizer.IndexScan:
+		return compileIndexScan(x)
+	case *optimizer.HashJoin:
+		return compileHashJoin(x)
+	case *optimizer.LoopJoin:
+		return compileLoopJoin(x)
+	case *optimizer.IndexJoin:
+		return compileIndexJoin(x)
+	case *optimizer.Agg:
+		return compileAgg(x)
+	case *optimizer.Project:
+		return compileProject(x)
+	case *optimizer.Sort:
+		return compileSort(x)
+	case *optimizer.Strip:
+		return compileStrip(x)
+	case *optimizer.Distinct:
+		return compileDistinct(x)
+	case *optimizer.Limit:
+		return compileLimit(x)
+	default:
+		return nil, fmt.Errorf("executor: unsupported plan node %T", n)
+	}
+}
+
+// SliceRowIter iterates a materialized row slice; the engine uses it
+// for virtual tables.
+type SliceRowIter struct {
+	Rows []sqltypes.Row
+	pos  int
+}
+
+// Next implements RowIter.
+func (it *SliceRowIter) Next() (sqltypes.Row, bool, error) {
+	if it.pos >= len(it.Rows) {
+		return nil, false, nil
+	}
+	r := it.Rows[it.pos]
+	it.pos++
+	return r, true, nil
+}
+
+// Close implements RowIter.
+func (it *SliceRowIter) Close() error { return nil }
+
+// sliceIter iterates a materialized row slice.
+type sliceIter struct {
+	rows []sqltypes.Row
+	pos  int
+}
+
+func (it *sliceIter) Next() (sqltypes.Row, bool, error) {
+	if it.pos >= len(it.rows) {
+		return nil, false, nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, true, nil
+}
+
+func (it *sliceIter) Close() error { return nil }
+
+// Collect drains an iterator into a slice and closes it.
+func Collect(it RowIter) ([]sqltypes.Row, error) {
+	defer it.Close()
+	var out []sqltypes.Row
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}

@@ -1,0 +1,317 @@
+package executor
+
+import (
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+	"repro/internal/sqltypes"
+)
+
+type hashJoinC struct {
+	left, right compiled
+	leftKeys    []expr.Compiled // bound against left output
+	rightKeys   []expr.Compiled // bound against right output
+	residual    expr.Compiled   // bound against combined output
+	leftWidth   int
+}
+
+func compileHashJoin(n *optimizer.HashJoin) (compiled, error) {
+	left, err := compileNode(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compileNode(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	c := &hashJoinC{left: left, right: right, leftWidth: len(n.Left.Out())}
+	lres := resolverFor(n.Left.Out())
+	rres := resolverFor(n.Right.Out())
+	for _, e := range n.LeftKeys {
+		ce, err := expr.Bind(e, lres)
+		if err != nil {
+			return nil, err
+		}
+		c.leftKeys = append(c.leftKeys, ce)
+	}
+	for _, e := range n.RightKeys {
+		ce, err := expr.Bind(e, rres)
+		if err != nil {
+			return nil, err
+		}
+		c.rightKeys = append(c.rightKeys, ce)
+	}
+	if c.residual, err = bindOpt(n.Residual, resolverFor(n.Out())); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// joinKey encodes the key values; ok=false if any is NULL (SQL equi
+// joins never match on NULL).
+func joinKey(env *expr.Env, keys []expr.Compiled) (string, bool, error) {
+	var buf []byte
+	for _, k := range keys {
+		v, err := k.Eval(env)
+		if err != nil {
+			return "", false, err
+		}
+		if v.IsNull() {
+			return "", false, nil
+		}
+		buf = sqltypes.EncodeKey(buf, v)
+	}
+	return string(buf), true, nil
+}
+
+func (c *hashJoinC) open(rt *runtime) (RowIter, error) {
+	// Build phase on the right input.
+	rit, err := c.right.open(rt)
+	if err != nil {
+		return nil, err
+	}
+	table := map[string][]sqltypes.Row{}
+	env := expr.Env{Params: rt.ctx.Params}
+	for {
+		row, ok, err := rit.Next()
+		if err != nil {
+			rit.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rt.ctx.Tuples++
+		env.Row = row
+		key, ok, err := joinKey(&env, c.rightKeys)
+		if err != nil {
+			rit.Close()
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		table[key] = append(table[key], row)
+	}
+	if err := rit.Close(); err != nil {
+		return nil, err
+	}
+	lit, err := c.left.open(rt)
+	if err != nil {
+		return nil, err
+	}
+	out := RowIter(&hashProbeIter{
+		left: lit, table: table, keys: c.leftKeys,
+		env: expr.Env{Params: rt.ctx.Params}, ctx: rt.ctx,
+	})
+	return maybeFilter(out, c.residual, rt), nil
+}
+
+type hashProbeIter struct {
+	left    RowIter
+	table   map[string][]sqltypes.Row
+	keys    []expr.Compiled
+	env     expr.Env
+	ctx     *Ctx
+	current sqltypes.Row
+	matches []sqltypes.Row
+	mpos    int
+}
+
+func (it *hashProbeIter) Next() (sqltypes.Row, bool, error) {
+	for {
+		if it.mpos < len(it.matches) {
+			r := it.matches[it.mpos]
+			it.mpos++
+			it.ctx.Tuples++
+			combined := make(sqltypes.Row, 0, len(it.current)+len(r))
+			combined = append(combined, it.current...)
+			combined = append(combined, r...)
+			return combined, true, nil
+		}
+		row, ok, err := it.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.ctx.Tuples++
+		it.env.Row = row
+		key, ok, err := joinKey(&it.env, it.keys)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			continue
+		}
+		it.current = row
+		it.matches = it.table[key]
+		it.mpos = 0
+	}
+}
+
+func (it *hashProbeIter) Close() error { return it.left.Close() }
+
+type loopJoinC struct {
+	left, right compiled
+	cond        expr.Compiled
+}
+
+func compileLoopJoin(n *optimizer.LoopJoin) (compiled, error) {
+	left, err := compileNode(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := compileNode(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	c := &loopJoinC{left: left, right: right}
+	if c.cond, err = bindOpt(n.Cond, resolverFor(n.Out())); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *loopJoinC) open(rt *runtime) (RowIter, error) {
+	rit, err := c.right.open(rt)
+	if err != nil {
+		return nil, err
+	}
+	rights, err := Collect(rit)
+	if err != nil {
+		return nil, err
+	}
+	lit, err := c.left.open(rt)
+	if err != nil {
+		return nil, err
+	}
+	out := RowIter(&loopJoinIter{left: lit, rights: rights, ctx: rt.ctx, rpos: len(rights)})
+	return maybeFilter(out, c.cond, rt), nil
+}
+
+type loopJoinIter struct {
+	left    RowIter
+	rights  []sqltypes.Row
+	ctx     *Ctx
+	current sqltypes.Row
+	rpos    int
+}
+
+func (it *loopJoinIter) Next() (sqltypes.Row, bool, error) {
+	for {
+		if it.rpos < len(it.rights) {
+			r := it.rights[it.rpos]
+			it.rpos++
+			it.ctx.Tuples++
+			combined := make(sqltypes.Row, 0, len(it.current)+len(r))
+			combined = append(combined, it.current...)
+			combined = append(combined, r...)
+			return combined, true, nil
+		}
+		row, ok, err := it.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.ctx.Tuples++
+		it.current = row
+		it.rpos = 0
+	}
+}
+
+func (it *loopJoinIter) Close() error { return it.left.Close() }
+
+type indexJoinC struct {
+	left     compiled
+	table    string
+	index    string
+	primary  bool
+	keys     []expr.Compiled // bound against left output
+	residual expr.Compiled   // bound against combined output
+}
+
+func compileIndexJoin(n *optimizer.IndexJoin) (compiled, error) {
+	left, err := compileNode(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	c := &indexJoinC{left: left, table: n.Table, index: n.Index, primary: n.Primary}
+	lres := resolverFor(n.Left.Out())
+	for _, e := range n.LeftKeys {
+		ce, err := expr.Bind(e, lres)
+		if err != nil {
+			return nil, err
+		}
+		c.keys = append(c.keys, ce)
+	}
+	if c.residual, err = bindOpt(n.Residual, resolverFor(n.Out())); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *indexJoinC) open(rt *runtime) (RowIter, error) {
+	lit, err := c.left.open(rt)
+	if err != nil {
+		return nil, err
+	}
+	out := RowIter(&indexJoinIter{c: c, rt: rt, left: lit, env: expr.Env{Params: rt.ctx.Params}})
+	return maybeFilter(out, c.residual, rt), nil
+}
+
+type indexJoinIter struct {
+	c       *indexJoinC
+	rt      *runtime
+	left    RowIter
+	env     expr.Env
+	current sqltypes.Row
+	inner   RowIter
+}
+
+func (it *indexJoinIter) Next() (sqltypes.Row, bool, error) {
+	for {
+		if it.inner != nil {
+			r, ok, err := it.inner.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				it.rt.ctx.Tuples++
+				combined := make(sqltypes.Row, 0, len(it.current)+len(r))
+				combined = append(combined, it.current...)
+				combined = append(combined, r...)
+				return combined, true, nil
+			}
+			it.inner.Close()
+			it.inner = nil
+		}
+		row, ok, err := it.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.rt.ctx.Tuples++
+		it.current = row
+		it.env.Row = row
+		lo, hi, ok, err := buildRange(&it.env, it.c.keys, nil, nil, false, false)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			continue // NULL probe key: no matches
+		}
+		var inner RowIter
+		if it.c.primary {
+			inner, err = it.rt.st.PrimaryRange(it.c.table, lo, hi)
+		} else {
+			inner, err = it.rt.st.IndexRange(it.c.table, it.c.index, lo, hi)
+		}
+		if err != nil {
+			return nil, false, err
+		}
+		it.inner = inner
+	}
+}
+
+func (it *indexJoinIter) Close() error {
+	if it.inner != nil {
+		it.inner.Close()
+	}
+	return it.left.Close()
+}

@@ -1,0 +1,216 @@
+package executor
+
+import (
+	"repro/internal/expr"
+	"repro/internal/optimizer"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// resolverFor builds an expression resolver over a node's output
+// columns.
+func resolverFor(cols []optimizer.OutCol) *expr.SimpleResolver {
+	r := &expr.SimpleResolver{Cols: make([]expr.ResolvedCol, len(cols))}
+	for i, c := range cols {
+		r.Cols[i] = expr.ResolvedCol{Table: c.Table, Name: c.Name, Type: c.Type}
+	}
+	return r
+}
+
+// bindOpt binds an optional expression (nil stays nil).
+func bindOpt(e sqlparser.Expr, r expr.Resolver) (expr.Compiled, error) {
+	if e == nil {
+		return nil, nil
+	}
+	return expr.Bind(e, r)
+}
+
+// filterIter applies a predicate to its input.
+type filterIter struct {
+	in   RowIter
+	pred expr.Compiled
+	env  expr.Env
+	ctx  *Ctx
+}
+
+func (it *filterIter) Next() (sqltypes.Row, bool, error) {
+	for {
+		row, ok, err := it.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		it.ctx.Tuples++
+		it.env.Row = row
+		v, err := it.pred.Eval(&it.env)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.Bool() {
+			return row, true, nil
+		}
+	}
+}
+
+func (it *filterIter) Close() error { return it.in.Close() }
+
+func maybeFilter(in RowIter, pred expr.Compiled, rt *runtime) RowIter {
+	if pred == nil {
+		return in
+	}
+	return &filterIter{in: in, pred: pred, env: expr.Env{Params: rt.ctx.Params}, ctx: rt.ctx}
+}
+
+type seqScanC struct {
+	table  string
+	filter expr.Compiled
+}
+
+func compileSeqScan(n *optimizer.SeqScan) (compiled, error) {
+	f, err := bindOpt(n.Filter, resolverFor(n.Cols))
+	if err != nil {
+		return nil, err
+	}
+	return &seqScanC{table: n.Table, filter: f}, nil
+}
+
+func (c *seqScanC) open(rt *runtime) (RowIter, error) {
+	it, err := rt.st.ScanTable(c.table)
+	if err != nil {
+		return nil, err
+	}
+	if c.filter == nil {
+		return &countingIter{in: it, ctx: rt.ctx}, nil
+	}
+	return maybeFilter(it, c.filter, rt), nil
+}
+
+// countingIter counts tuples flowing through an unfiltered scan.
+type countingIter struct {
+	in  RowIter
+	ctx *Ctx
+}
+
+func (it *countingIter) Next() (sqltypes.Row, bool, error) {
+	row, ok, err := it.in.Next()
+	if ok {
+		it.ctx.Tuples++
+	}
+	return row, ok, err
+}
+
+func (it *countingIter) Close() error { return it.in.Close() }
+
+type indexScanC struct {
+	table   string
+	index   string
+	primary bool
+	eq      []expr.Compiled
+	lo, hi  expr.Compiled
+	loIncl  bool
+	hiIncl  bool
+	filter  expr.Compiled
+}
+
+func compileIndexScan(n *optimizer.IndexScan) (compiled, error) {
+	res := resolverFor(n.Cols)
+	c := &indexScanC{table: n.Table, index: n.Index, primary: n.Primary,
+		loIncl: n.LoIncl, hiIncl: n.HiIncl}
+	// Key expressions are constant (literals/params): bind with an
+	// empty row resolver.
+	konst := &expr.SimpleResolver{}
+	for _, e := range n.Eq {
+		ce, err := expr.Bind(e, konst)
+		if err != nil {
+			return nil, err
+		}
+		c.eq = append(c.eq, ce)
+	}
+	var err error
+	if c.lo, err = bindOpt(n.Lo, konst); err != nil {
+		return nil, err
+	}
+	if c.hi, err = bindOpt(n.Hi, konst); err != nil {
+		return nil, err
+	}
+	if c.filter, err = bindOpt(n.Filter, res); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// buildRange computes the [lo, hi) key range for an equality prefix
+// plus optional range bounds. Returns ok=false when a probe value is
+// NULL (no row can match).
+func buildRange(env *expr.Env, eq []expr.Compiled, loE, hiE expr.Compiled, loIncl, hiIncl bool) (lo, hi []byte, ok bool, err error) {
+	var prefix []byte
+	for _, ce := range eq {
+		v, err := ce.Eval(env)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if v.IsNull() {
+			return nil, nil, false, nil
+		}
+		prefix = sqltypes.EncodeKey(prefix, v)
+	}
+	lo = append([]byte(nil), prefix...)
+	hi = append([]byte(nil), prefix...)
+	switch {
+	case loE == nil && hiE == nil:
+		hi = append(hi, 0xFF)
+	default:
+		if loE != nil {
+			v, err := loE.Eval(env)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			if v.IsNull() {
+				return nil, nil, false, nil
+			}
+			lo = sqltypes.EncodeKey(lo, v)
+			if !loIncl {
+				lo = append(lo, 0xFF)
+			}
+		}
+		if hiE != nil {
+			v, err := hiE.Eval(env)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			if v.IsNull() {
+				return nil, nil, false, nil
+			}
+			hi = sqltypes.EncodeKey(hi, v)
+			if hiIncl {
+				hi = append(hi, 0xFF)
+			}
+		} else {
+			hi = append(hi, 0xFF)
+		}
+	}
+	return lo, hi, true, nil
+}
+
+func (c *indexScanC) open(rt *runtime) (RowIter, error) {
+	env := expr.Env{Params: rt.ctx.Params}
+	lo, hi, ok, err := buildRange(&env, c.eq, c.lo, c.hi, c.loIncl, c.hiIncl)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return &sliceIter{}, nil
+	}
+	var it RowIter
+	if c.primary {
+		it, err = rt.st.PrimaryRange(c.table, lo, hi)
+	} else {
+		it, err = rt.st.IndexRange(c.table, c.index, lo, hi)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if c.filter == nil {
+		return &countingIter{in: it, ctx: rt.ctx}, nil
+	}
+	return maybeFilter(it, c.filter, rt), nil
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; timing
+// sensitive test assertions relax under its ~10× slowdown.
+const raceEnabled = true

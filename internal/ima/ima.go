@@ -1,0 +1,271 @@
+// Package ima reproduces the Ingres Management Architecture: every
+// class of in-memory monitoring objects is registered as a virtual
+// table in the database, so the monitor's ring buffers become readable
+// over plain SQL — no extra protocol, no disk access (the data lives
+// only in main memory until the storage daemon persists it).
+//
+// The table set mirrors the paper's Figure 3:
+//
+//	ima_statements  — unique statements keyed by text hash
+//	ima_workload    — execution history with estimated vs. actual costs
+//	ima_references  — statement → object (table/attribute/index) usage
+//	ima_tables      — per-table frequency and physical state
+//	ima_attributes  — per-attribute frequency and histogram presence
+//	ima_indexes     — per-index frequency
+//	ima_statistics  — system-wide statistics (sessions, locks, cache)
+package ima
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/monitor"
+	"repro/internal/sqltypes"
+)
+
+// Register installs the IMA virtual tables on db, reading from mon.
+// The statistics table also samples engine-wide counters.
+func Register(db *engine.DB, mon *monitor.Monitor) error {
+	if mon == nil {
+		return fmt.Errorf("ima: monitor is required")
+	}
+	regs := []struct {
+		name     string
+		schema   sqltypes.Schema
+		provider func() []sqltypes.Row
+	}{
+		{
+			name: "ima_statements",
+			schema: sqltypes.NewSchema(
+				sqltypes.Column{Name: "hash", Type: sqltypes.Int},
+				sqltypes.Column{Name: "query_text", Type: sqltypes.Text},
+				sqltypes.Column{Name: "kind", Type: sqltypes.Text},
+				sqltypes.Column{Name: "frequency", Type: sqltypes.Int},
+				sqltypes.Column{Name: "first_seen_us", Type: sqltypes.Int},
+				sqltypes.Column{Name: "last_seen_us", Type: sqltypes.Int},
+			),
+			provider: func() []sqltypes.Row {
+				snap := mon.Snapshot()
+				rows := make([]sqltypes.Row, 0, len(snap.Statements))
+				for _, s := range snap.Statements {
+					rows = append(rows, sqltypes.Row{
+						sqltypes.NewInt(int64(s.Hash)),
+						sqltypes.NewText(truncate(s.Text, engine.MaxTextBytes)),
+						sqltypes.NewText(s.Kind),
+						sqltypes.NewInt(s.Frequency),
+						sqltypes.NewInt(s.FirstSeen.UnixMicro()),
+						sqltypes.NewInt(s.LastSeen.UnixMicro()),
+					})
+				}
+				return rows
+			},
+		},
+		{
+			name: "ima_workload",
+			schema: sqltypes.NewSchema(
+				sqltypes.Column{Name: "hash", Type: sqltypes.Int},
+				sqltypes.Column{Name: "start_us", Type: sqltypes.Int},
+				sqltypes.Column{Name: "wall_us", Type: sqltypes.Int},
+				sqltypes.Column{Name: "opt_us", Type: sqltypes.Int},
+				sqltypes.Column{Name: "exec_cpu", Type: sqltypes.Int},
+				sqltypes.Column{Name: "exec_io", Type: sqltypes.Int},
+				sqltypes.Column{Name: "est_cpu", Type: sqltypes.Float},
+				sqltypes.Column{Name: "est_io", Type: sqltypes.Float},
+				sqltypes.Column{Name: "est_rows", Type: sqltypes.Float},
+				sqltypes.Column{Name: "rows", Type: sqltypes.Int},
+				sqltypes.Column{Name: "mon_ns", Type: sqltypes.Int},
+				sqltypes.Column{Name: "error", Type: sqltypes.Int},
+			),
+			provider: func() []sqltypes.Row {
+				snap := mon.Snapshot()
+				rows := make([]sqltypes.Row, 0, len(snap.Workload))
+				for _, w := range snap.Workload {
+					rows = append(rows, workloadRow(w))
+				}
+				return rows
+			},
+		},
+		{
+			name: "ima_references",
+			schema: sqltypes.NewSchema(
+				sqltypes.Column{Name: "hash", Type: sqltypes.Int},
+				sqltypes.Column{Name: "obj_type", Type: sqltypes.Text},
+				sqltypes.Column{Name: "obj_name", Type: sqltypes.Text},
+				sqltypes.Column{Name: "table_name", Type: sqltypes.Text},
+			),
+			provider: func() []sqltypes.Row {
+				snap := mon.Snapshot()
+				rows := make([]sqltypes.Row, 0, len(snap.References))
+				for _, r := range snap.References {
+					rows = append(rows, sqltypes.Row{
+						sqltypes.NewInt(int64(r.Hash)),
+						sqltypes.NewText(r.Type.String()),
+						sqltypes.NewText(r.Name),
+						sqltypes.NewText(r.Table),
+					})
+				}
+				return rows
+			},
+		},
+		{
+			name: "ima_tables",
+			schema: sqltypes.NewSchema(
+				sqltypes.Column{Name: "table_name", Type: sqltypes.Text},
+				sqltypes.Column{Name: "frequency", Type: sqltypes.Int},
+				sqltypes.Column{Name: "structure", Type: sqltypes.Text},
+				sqltypes.Column{Name: "data_pages", Type: sqltypes.Int},
+				sqltypes.Column{Name: "overflow_pages", Type: sqltypes.Int},
+				sqltypes.Column{Name: "row_count", Type: sqltypes.Int},
+			),
+			provider: func() []sqltypes.Row {
+				snap := mon.Snapshot()
+				var rows []sqltypes.Row
+				for _, t := range db.Catalog().Tables() {
+					ts := db.TableState(t.Name)
+					rows = append(rows, sqltypes.Row{
+						sqltypes.NewText(strings.ToLower(t.Name)),
+						sqltypes.NewInt(snap.TableFreq[strings.ToLower(t.Name)]),
+						sqltypes.NewText(string(t.Structure)),
+						sqltypes.NewInt(int64(ts.Pages)),
+						sqltypes.NewInt(int64(ts.OverflowPages)),
+						sqltypes.NewInt(ts.Rows),
+					})
+				}
+				return rows
+			},
+		},
+		{
+			name: "ima_attributes",
+			schema: sqltypes.NewSchema(
+				sqltypes.Column{Name: "attr_name", Type: sqltypes.Text},
+				sqltypes.Column{Name: "table_name", Type: sqltypes.Text},
+				sqltypes.Column{Name: "frequency", Type: sqltypes.Int},
+				sqltypes.Column{Name: "has_histogram", Type: sqltypes.Int},
+			),
+			provider: func() []sqltypes.Row {
+				snap := mon.Snapshot()
+				var rows []sqltypes.Row
+				for _, t := range db.Catalog().Tables() {
+					tn := strings.ToLower(t.Name)
+					for _, c := range t.Schema.Columns {
+						attr := tn + "." + strings.ToLower(c.Name)
+						hasHist := int64(0)
+						if db.Catalog().Histogram(t.Name, c.Name) != nil {
+							hasHist = 1
+						}
+						rows = append(rows, sqltypes.Row{
+							sqltypes.NewText(attr),
+							sqltypes.NewText(tn),
+							sqltypes.NewInt(snap.AttrFreq[attr]),
+							sqltypes.NewInt(hasHist),
+						})
+					}
+				}
+				return rows
+			},
+		},
+		{
+			name: "ima_indexes",
+			schema: sqltypes.NewSchema(
+				sqltypes.Column{Name: "index_name", Type: sqltypes.Text},
+				sqltypes.Column{Name: "table_name", Type: sqltypes.Text},
+				sqltypes.Column{Name: "frequency", Type: sqltypes.Int},
+				sqltypes.Column{Name: "is_virtual", Type: sqltypes.Int},
+			),
+			provider: func() []sqltypes.Row {
+				snap := mon.Snapshot()
+				var rows []sqltypes.Row
+				for _, ix := range db.Catalog().Indexes() {
+					rows = append(rows, sqltypes.Row{
+						sqltypes.NewText(strings.ToLower(ix.Name)),
+						sqltypes.NewText(strings.ToLower(ix.Table)),
+						sqltypes.NewInt(snap.IndexFreq[strings.ToLower(ix.Name)]),
+						sqltypes.NewBool(ix.Virtual),
+					})
+				}
+				// Primary structures show up under "<table>.primary".
+				for name, freq := range snap.IndexFreq {
+					if strings.HasSuffix(name, ".primary") {
+						rows = append(rows, sqltypes.Row{
+							sqltypes.NewText(name),
+							sqltypes.NewText(strings.TrimSuffix(name, ".primary")),
+							sqltypes.NewInt(freq),
+							sqltypes.NewInt(0),
+						})
+					}
+				}
+				return rows
+			},
+		},
+		{
+			name: "ima_statistics",
+			schema: sqltypes.NewSchema(
+				sqltypes.Column{Name: "current_sessions", Type: sqltypes.Int},
+				sqltypes.Column{Name: "peak_sessions", Type: sqltypes.Int},
+				sqltypes.Column{Name: "statements", Type: sqltypes.Int},
+				sqltypes.Column{Name: "locks_held", Type: sqltypes.Int},
+				sqltypes.Column{Name: "lock_waits", Type: sqltypes.Int},
+				sqltypes.Column{Name: "deadlocks", Type: sqltypes.Int},
+				sqltypes.Column{Name: "cache_hits", Type: sqltypes.Int},
+				sqltypes.Column{Name: "cache_misses", Type: sqltypes.Int},
+				sqltypes.Column{Name: "disk_reads", Type: sqltypes.Int},
+				sqltypes.Column{Name: "disk_writes", Type: sqltypes.Int},
+				sqltypes.Column{Name: "db_bytes", Type: sqltypes.Int},
+			),
+			provider: func() []sqltypes.Row {
+				st := db.Stats()
+				return []sqltypes.Row{{
+					sqltypes.NewInt(st.CurrentSessions),
+					sqltypes.NewInt(st.PeakSessions),
+					sqltypes.NewInt(st.Statements),
+					sqltypes.NewInt(st.LocksHeld),
+					sqltypes.NewInt(st.LockWaits),
+					sqltypes.NewInt(st.Deadlocks),
+					sqltypes.NewInt(st.CacheHits),
+					sqltypes.NewInt(st.CacheMisses),
+					sqltypes.NewInt(st.DiskReads),
+					sqltypes.NewInt(st.DiskWrites),
+					sqltypes.NewInt(st.DBBytes),
+				}}
+			},
+		},
+	}
+	for _, r := range regs {
+		if err := db.RegisterVirtual(r.name, r.schema, r.provider); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workloadRow converts a workload entry to its IMA row form (shared
+// with the storage daemon).
+func workloadRow(w monitor.WorkloadEntry) sqltypes.Row {
+	return sqltypes.Row{
+		sqltypes.NewInt(int64(w.Hash)),
+		sqltypes.NewInt(w.Start.UnixMicro()),
+		sqltypes.NewInt(w.Wall.Microseconds()),
+		sqltypes.NewInt(w.OptTime.Microseconds()),
+		sqltypes.NewInt(w.ExecCPU),
+		sqltypes.NewInt(w.ExecIO),
+		sqltypes.NewFloat(w.EstCPU),
+		sqltypes.NewFloat(w.EstIO),
+		sqltypes.NewFloat(w.EstRows),
+		sqltypes.NewInt(w.Rows),
+		sqltypes.NewInt(w.MonNanos),
+		sqltypes.NewBool(w.Err),
+	}
+}
+
+// WorkloadRow is the exported form used by the storage daemon when it
+// drains the monitor directly (the in-core variant of data collection
+// the paper describes as the next step in §IV-B).
+func WorkloadRow(w monitor.WorkloadEntry) sqltypes.Row { return workloadRow(w) }
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

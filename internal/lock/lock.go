@@ -1,0 +1,274 @@
+// Package lock implements a table-level lock manager with shared and
+// exclusive modes, FIFO wait queues and wait-for-graph deadlock
+// detection. Its counters (locks in use, lock waits, deadlocks) feed
+// the system-statistics sensor behind the paper's locks diagram
+// (Figure 8).
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes. Shared is compatible with Shared; Exclusive with nothing.
+const (
+	Shared Mode = iota
+	Exclusive
+)
+
+// String returns "S" or "X".
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// ErrDeadlock is returned to the session chosen as the deadlock victim.
+var ErrDeadlock = errors.New("lock: deadlock detected, request aborted")
+
+type waiter struct {
+	session int64
+	mode    Mode
+	ready   chan error
+}
+
+type lockState struct {
+	holders map[int64]Mode
+	queue   []*waiter
+}
+
+// Stats is a snapshot of lock-manager counters. Grants, Waits and
+// Deadlocks are cumulative; Held and Waiting are instantaneous.
+type Stats struct {
+	Held      int
+	Waiting   int
+	Grants    int64
+	Waits     int64
+	Deadlocks int64
+}
+
+// Manager is a lock manager for named resources (tables). It is safe
+// for concurrent use.
+type Manager struct {
+	mu        sync.Mutex
+	locks     map[string]*lockState
+	waitsFor  map[int64]string // session -> resource it is queued on
+	grants    atomic.Int64
+	waits     atomic.Int64
+	deadlocks atomic.Int64
+}
+
+// NewManager creates an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks:    map[string]*lockState{},
+		waitsFor: map[int64]string{},
+	}
+}
+
+// Acquire takes the named lock in the given mode for session, blocking
+// until granted. It returns ErrDeadlock if granting would close a cycle
+// in the wait-for graph (the requester is the victim). Re-acquiring a
+// lock the session already holds at the same or stronger mode is a
+// no-op; a sole Shared holder upgrades to Exclusive in place.
+func (m *Manager) Acquire(session int64, resource string, mode Mode) error {
+	m.mu.Lock()
+	ls := m.locks[resource]
+	if ls == nil {
+		ls = &lockState{holders: map[int64]Mode{}}
+		m.locks[resource] = ls
+	}
+	if held, ok := ls.holders[session]; ok {
+		if held >= mode {
+			m.mu.Unlock()
+			return nil
+		}
+		// Upgrade S -> X: immediate if sole holder.
+		if len(ls.holders) == 1 {
+			ls.holders[session] = Exclusive
+			m.grants.Add(1)
+			m.mu.Unlock()
+			return nil
+		}
+		// Fall through to wait for the other holders to leave.
+	}
+	if m.grantableLocked(ls, session, mode) {
+		ls.holders[session] = mode
+		m.grants.Add(1)
+		m.mu.Unlock()
+		return nil
+	}
+	// Must wait: first check for a deadlock cycle.
+	if m.wouldDeadlockLocked(session, resource) {
+		m.deadlocks.Add(1)
+		m.mu.Unlock()
+		return fmt.Errorf("%w (session %d on %s %s)", ErrDeadlock, session, resource, mode)
+	}
+	w := &waiter{session: session, mode: mode, ready: make(chan error, 1)}
+	ls.queue = append(ls.queue, w)
+	m.waitsFor[session] = resource
+	m.waits.Add(1)
+	m.mu.Unlock()
+
+	err := <-w.ready
+	return err
+}
+
+// grantableLocked reports whether the request is compatible with the
+// current holders and does not jump an incompatible FIFO queue.
+func (m *Manager) grantableLocked(ls *lockState, session int64, mode Mode) bool {
+	for holder, held := range ls.holders {
+		if holder == session {
+			continue
+		}
+		if mode == Exclusive || held == Exclusive {
+			return false
+		}
+	}
+	// Do not starve queued writers: a new shared request waits behind a
+	// queued exclusive one.
+	for _, w := range ls.queue {
+		if mode == Exclusive || w.mode == Exclusive {
+			return false
+		}
+	}
+	return true
+}
+
+// wouldDeadlockLocked runs a DFS over the wait-for graph assuming the
+// session starts waiting on resource.
+func (m *Manager) wouldDeadlockLocked(session int64, resource string) bool {
+	// blockers(s) = holders of the resource s waits on, minus s itself.
+	visited := map[int64]bool{}
+	var dfs func(s int64) bool
+	dfs = func(s int64) bool {
+		if s == session {
+			return true
+		}
+		if visited[s] {
+			return false
+		}
+		visited[s] = true
+		res, waiting := m.waitsFor[s]
+		if !waiting {
+			return false
+		}
+		ls := m.locks[res]
+		if ls == nil {
+			return false
+		}
+		for holder := range ls.holders {
+			if holder != s && dfs(holder) {
+				return true
+			}
+		}
+		return false
+	}
+	ls := m.locks[resource]
+	if ls == nil {
+		return false
+	}
+	for holder := range ls.holders {
+		if holder != session && dfs(holder) {
+			return true
+		}
+	}
+	return false
+}
+
+// Release drops session's lock on resource and grants any now-eligible
+// waiters in FIFO order.
+func (m *Manager) Release(session int64, resource string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(session, resource)
+}
+
+// ReleaseAll drops every lock the session holds and removes it from
+// every wait queue (waiters are woken with ErrDeadlock-free nil only
+// when granted; cancelled waiters receive ErrReleased).
+func (m *Manager) ReleaseAll(session int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var resources []string
+	for res, ls := range m.locks {
+		if _, ok := ls.holders[session]; ok {
+			resources = append(resources, res)
+		}
+	}
+	sort.Strings(resources)
+	for _, res := range resources {
+		m.releaseLocked(session, res)
+	}
+}
+
+func (m *Manager) releaseLocked(session int64, resource string) {
+	ls := m.locks[resource]
+	if ls == nil {
+		return
+	}
+	delete(ls.holders, session)
+	// Grant from the front of the queue while compatible.
+	for len(ls.queue) > 0 {
+		w := ls.queue[0]
+		compatible := true
+		for holder, held := range ls.holders {
+			if holder == w.session {
+				continue
+			}
+			if w.mode == Exclusive || held == Exclusive {
+				compatible = false
+				break
+			}
+		}
+		if !compatible {
+			break
+		}
+		ls.queue = ls.queue[1:]
+		ls.holders[w.session] = w.mode
+		delete(m.waitsFor, w.session)
+		m.grants.Add(1)
+		w.ready <- nil
+	}
+	if len(ls.holders) == 0 && len(ls.queue) == 0 {
+		delete(m.locks, resource)
+	}
+}
+
+// Stats returns a snapshot of the lock counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	held, waiting := 0, 0
+	for _, ls := range m.locks {
+		held += len(ls.holders)
+		waiting += len(ls.queue)
+	}
+	m.mu.Unlock()
+	return Stats{
+		Held:      held,
+		Waiting:   waiting,
+		Grants:    m.grants.Load(),
+		Waits:     m.waits.Load(),
+		Deadlocks: m.deadlocks.Load(),
+	}
+}
+
+// Holding reports whether the session holds the resource at mode or
+// stronger.
+func (m *Manager) Holding(session int64, resource string, mode Mode) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ls := m.locks[resource]
+	if ls == nil {
+		return false
+	}
+	held, ok := ls.holders[session]
+	return ok && held >= mode
+}

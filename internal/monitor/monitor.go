@@ -1,0 +1,457 @@
+// Package monitor implements the paper's core contribution: integrated
+// performance monitoring inside the DBMS. Sensors along the statement
+// path (parse → optimize → execute) record query text, referenced
+// objects, estimated and actual costs and wallclock times into fixed
+// size in-memory ring buffers. The monitor never touches disk; the
+// storage daemon (internal/daemon) persists snapshots, and internal/ima
+// exposes the buffers as virtual SQL tables.
+//
+// Every sensor measures its own execution time so that the share of
+// monitoring in total statement time (the paper's Figure 5) can be
+// reproduced exactly.
+package monitor
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultStatementCapacity is the number of distinct statements the
+// statement ring holds before wrapping around, as in the prototype
+// ("by default, the monitoring can capture up to 1000 different
+// statements until the buffer wraps around").
+const DefaultStatementCapacity = 1000
+
+// DefaultWorkloadCapacity is the number of workload (execution) entries
+// kept in memory between daemon polls.
+const DefaultWorkloadCapacity = 4096
+
+// ObjType classifies a referenced database object.
+type ObjType uint8
+
+// Referenced object kinds.
+const (
+	ObjTable ObjType = iota
+	ObjAttribute
+	ObjIndex
+)
+
+// String returns "table", "attribute" or "index".
+func (o ObjType) String() string {
+	switch o {
+	case ObjTable:
+		return "table"
+	case ObjAttribute:
+		return "attribute"
+	case ObjIndex:
+		return "index"
+	}
+	return "?"
+}
+
+// StatementInfo is one row of the statements ring: a unique statement
+// identified by the FNV-64 hash of its text.
+type StatementInfo struct {
+	Hash      uint64
+	Text      string
+	Kind      string // SELECT, INSERT, ...
+	Frequency int64
+	FirstSeen time.Time
+	LastSeen  time.Time
+}
+
+// WorkloadEntry is one row of the workload ring: a single execution of
+// a statement with its cost breakdown.
+type WorkloadEntry struct {
+	Hash     uint64
+	Start    time.Time
+	Wall     time.Duration // total statement wallclock
+	OptTime  time.Duration // time spent in the optimizer
+	ExecCPU  int64         // actual tuple operations
+	ExecIO   int64         // actual page I/Os (buffer pool misses + writes)
+	EstCPU   float64       // optimizer estimate, tuple operations
+	EstIO    float64       // optimizer estimate, page I/Os
+	EstRows  float64       // optimizer cardinality estimate
+	Rows     int64         // rows produced
+	MonNanos int64         // time spent inside monitor sensors
+	Err      bool
+}
+
+// Reference is one row of the references ring: statement hash → object.
+type Reference struct {
+	Hash  uint64
+	Type  ObjType
+	Name  string // object name (attribute as "table.column")
+	Table string // owning table (= Name for tables)
+}
+
+// Config sizes the monitor's ring buffers.
+type Config struct {
+	StatementCapacity int
+	WorkloadCapacity  int
+	ReferenceCapacity int
+}
+
+// Monitor is the in-core monitoring component. A disabled monitor adds
+// only a nil check to the statement path, which is the paper's
+// "Original" baseline.
+type Monitor struct {
+	enabled atomic.Bool
+
+	mu sync.Mutex
+
+	stmtCap  int
+	stmts    map[uint64]*StatementInfo
+	stmtFIFO []uint64 // insertion order for eviction
+	stmtHead int      // next eviction position
+
+	workCap  int
+	workload []WorkloadEntry // ring
+	workPos  int
+	workLen  int
+
+	refCap   int
+	refs     []Reference // ring
+	refPos   int
+	refLen   int
+	seenRefs map[uint64]bool // statements whose references are recorded
+
+	tableFreq map[string]int64
+	attrFreq  map[string]int64
+	indexFreq map[string]int64
+
+	// totals are cumulative counters that survive ring wraparound.
+	totalStatements atomic.Int64
+	totalMonNanos   atomic.Int64
+
+	// fullHandler, when set, is invoked (outside the monitor lock)
+	// once when the workload ring crosses ~90% of its capacity, and is
+	// re-armed by DrainWorkload. This is the paper's §IV-B extension:
+	// writing to the workload DB "only when the main memory buffers
+	// are full" instead of on a fixed schedule.
+	fullHandler atomic.Value // func()
+	fullFired   atomic.Bool
+}
+
+// New creates an enabled monitor with the given configuration. Zero
+// capacities fall back to the defaults.
+func New(cfg Config) *Monitor {
+	if cfg.StatementCapacity <= 0 {
+		cfg.StatementCapacity = DefaultStatementCapacity
+	}
+	if cfg.WorkloadCapacity <= 0 {
+		cfg.WorkloadCapacity = DefaultWorkloadCapacity
+	}
+	if cfg.ReferenceCapacity <= 0 {
+		cfg.ReferenceCapacity = cfg.StatementCapacity * 8
+	}
+	m := &Monitor{
+		stmtCap:   cfg.StatementCapacity,
+		stmts:     make(map[uint64]*StatementInfo, cfg.StatementCapacity),
+		workCap:   cfg.WorkloadCapacity,
+		workload:  make([]WorkloadEntry, cfg.WorkloadCapacity),
+		refCap:    cfg.ReferenceCapacity,
+		refs:      make([]Reference, cfg.ReferenceCapacity),
+		seenRefs:  map[uint64]bool{},
+		tableFreq: map[string]int64{},
+		attrFreq:  map[string]int64{},
+		indexFreq: map[string]int64{},
+	}
+	m.enabled.Store(true)
+	return m
+}
+
+// SetEnabled switches the monitor on or off at runtime.
+func (m *Monitor) SetEnabled(v bool) { m.enabled.Store(v) }
+
+// Enabled reports whether sensors are active.
+func (m *Monitor) Enabled() bool { return m.enabled.Load() }
+
+// Handle accumulates sensor data for one executing statement. All of
+// its methods are nil-safe: a disabled monitor hands out nil handles
+// and the statement path pays only for the nil checks.
+type Handle struct {
+	m     *Monitor
+	hash  uint64
+	text  string
+	kind  string
+	start time.Time
+
+	mon int64 // nanoseconds spent in sensors
+
+	tables  []string
+	attrs   []string // "table.column"
+	indexes []string
+
+	optTime time.Duration
+	estCPU  float64
+	estIO   float64
+	estRows float64
+}
+
+// HashStatement returns the FNV-64a hash the monitor keys statements
+// by.
+func HashStatement(text string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	return h.Sum64()
+}
+
+// StartStatement begins monitoring one statement execution. It is the
+// "Wallclock Start" sensor at the query interface.
+func (m *Monitor) StartStatement(text string) *Handle {
+	if m == nil || !m.enabled.Load() {
+		return nil
+	}
+	t0 := time.Now()
+	h := &Handle{m: m, text: text, start: t0}
+	h.hash = HashStatement(text)
+	h.mon += int64(time.Since(t0))
+	return h
+}
+
+// Parsed is the parser sensor: statement kind and referenced tables,
+// logged "right at the source" while the parser has them in hand. The
+// slice is retained by reference and must not be mutated afterwards.
+// Its cost is a handful of stores; the self-measurement that feeds
+// Figure 5 happens in StartStatement and Finish, which carry the real
+// work (hashing and the ring-buffer commit).
+func (h *Handle) Parsed(kind string, tables []string) {
+	if h == nil {
+		return
+	}
+	h.kind = kind
+	h.tables = tables
+}
+
+// Optimized is the optimizer sensor: estimated costs, referenced
+// attributes and the indexes the plan uses. Both slices are retained
+// by reference (the engine passes the cached plan's immutable slices).
+func (h *Handle) Optimized(estCPU, estIO, estRows float64, attrs, indexes []string, optTime time.Duration) {
+	if h == nil {
+		return
+	}
+	h.estCPU, h.estIO, h.estRows = estCPU, estIO, estRows
+	h.attrs = attrs
+	h.indexes = indexes
+	h.optTime = optTime
+}
+
+// Finish is the "Wallclock Stop" sensor: it commits the collected data
+// into the ring buffers under one short critical section.
+func (h *Handle) Finish(execCPU, execIO, rows int64, execErr error) {
+	if h == nil {
+		return
+	}
+	t0 := time.Now()
+	m := h.m
+	entry := WorkloadEntry{
+		Hash:    h.hash,
+		Start:   h.start,
+		OptTime: h.optTime,
+		ExecCPU: execCPU,
+		ExecIO:  execIO,
+		EstCPU:  h.estCPU,
+		EstIO:   h.estIO,
+		EstRows: h.estRows,
+		Rows:    rows,
+		Err:     execErr != nil,
+	}
+
+	m.mu.Lock()
+	// Statement ring.
+	si := m.stmts[h.hash]
+	isNew := si == nil
+	if isNew {
+		si = &StatementInfo{Hash: h.hash, Text: h.text, Kind: h.kind, FirstSeen: h.start}
+		if len(m.stmts) >= m.stmtCap {
+			m.evictOldestLocked()
+		}
+		m.stmts[h.hash] = si
+		m.stmtFIFO = append(m.stmtFIFO, h.hash)
+	}
+	si.Frequency++
+	si.LastSeen = h.start
+
+	// References: recorded once per statement hash.
+	if isNew || !m.seenRefs[h.hash] {
+		m.seenRefs[h.hash] = true
+		for _, t := range h.tables {
+			m.addRefLocked(Reference{Hash: h.hash, Type: ObjTable, Name: t, Table: t})
+		}
+		for _, a := range h.attrs {
+			m.addRefLocked(Reference{Hash: h.hash, Type: ObjAttribute, Name: a, Table: tablePart(a)})
+		}
+		for _, ix := range h.indexes {
+			m.addRefLocked(Reference{Hash: h.hash, Type: ObjIndex, Name: ix})
+		}
+	}
+
+	// Object frequencies.
+	for _, t := range h.tables {
+		m.tableFreq[t]++
+	}
+	for _, a := range h.attrs {
+		m.attrFreq[a]++
+	}
+	for _, ix := range h.indexes {
+		m.indexFreq[ix]++
+	}
+
+	// Workload ring. Monitor time includes this commit, estimated from
+	// the sensors so far plus the elapsed time in Finish.
+	entry.MonNanos = h.mon + int64(time.Since(t0))
+	entry.Wall = time.Since(h.start)
+	m.workload[m.workPos] = entry
+	m.workPos = (m.workPos + 1) % m.workCap
+	if m.workLen < m.workCap {
+		m.workLen++
+	}
+	nearFull := m.workLen*10 >= m.workCap*9
+	m.mu.Unlock()
+
+	m.totalStatements.Add(1)
+	m.totalMonNanos.Add(entry.MonNanos)
+
+	if nearFull && m.fullFired.CompareAndSwap(false, true) {
+		if fn, ok := m.fullHandler.Load().(func()); ok && fn != nil {
+			fn()
+		}
+	}
+}
+
+// SetFullHandler registers fn to be called once whenever the workload
+// ring crosses ~90% of its capacity; DrainWorkload re-arms it. The
+// storage daemon uses this to flush early instead of losing entries to
+// ring wraparound under statement bursts.
+func (m *Monitor) SetFullHandler(fn func()) { m.fullHandler.Store(fn) }
+
+func tablePart(attr string) string {
+	for i := 0; i < len(attr); i++ {
+		if attr[i] == '.' {
+			return attr[:i]
+		}
+	}
+	return ""
+}
+
+// evictOldestLocked drops the oldest statement and its references.
+func (m *Monitor) evictOldestLocked() {
+	for m.stmtHead < len(m.stmtFIFO) {
+		hash := m.stmtFIFO[m.stmtHead]
+		m.stmtHead++
+		if _, ok := m.stmts[hash]; ok {
+			delete(m.stmts, hash)
+			delete(m.seenRefs, hash)
+			break
+		}
+	}
+	// Compact the FIFO slice occasionally.
+	if m.stmtHead > m.stmtCap {
+		m.stmtFIFO = append([]uint64(nil), m.stmtFIFO[m.stmtHead:]...)
+		m.stmtHead = 0
+	}
+}
+
+func (m *Monitor) addRefLocked(r Reference) {
+	m.refs[m.refPos] = r
+	m.refPos = (m.refPos + 1) % m.refCap
+	if m.refLen < m.refCap {
+		m.refLen++
+	}
+}
+
+// Snapshot is a consistent copy of all ring buffers, taken by the IMA
+// layer and the storage daemon.
+type Snapshot struct {
+	Taken      time.Time
+	Statements []StatementInfo
+	Workload   []WorkloadEntry
+	References []Reference
+	TableFreq  map[string]int64
+	AttrFreq   map[string]int64
+	IndexFreq  map[string]int64
+}
+
+// Snapshot copies the current monitor state. Workload entries are
+// returned oldest first.
+func (m *Monitor) Snapshot() Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Taken:     time.Now(),
+		TableFreq: make(map[string]int64, len(m.tableFreq)),
+		AttrFreq:  make(map[string]int64, len(m.attrFreq)),
+		IndexFreq: make(map[string]int64, len(m.indexFreq)),
+	}
+	for h := m.stmtHead; h < len(m.stmtFIFO); h++ {
+		if si, ok := m.stmts[m.stmtFIFO[h]]; ok {
+			s.Statements = append(s.Statements, *si)
+		}
+	}
+	s.Workload = make([]WorkloadEntry, 0, m.workLen)
+	start := m.workPos - m.workLen
+	if start < 0 {
+		start += m.workCap
+	}
+	for i := 0; i < m.workLen; i++ {
+		s.Workload = append(s.Workload, m.workload[(start+i)%m.workCap])
+	}
+	s.References = make([]Reference, 0, m.refLen)
+	rstart := m.refPos - m.refLen
+	if rstart < 0 {
+		rstart += m.refCap
+	}
+	for i := 0; i < m.refLen; i++ {
+		s.References = append(s.References, m.refs[(rstart+i)%m.refCap])
+	}
+	for k, v := range m.tableFreq {
+		s.TableFreq[k] = v
+	}
+	for k, v := range m.attrFreq {
+		s.AttrFreq[k] = v
+	}
+	for k, v := range m.indexFreq {
+		s.IndexFreq[k] = v
+	}
+	return s
+}
+
+// DrainWorkload returns and clears the workload ring. The daemon uses
+// it so that each poll sees every execution exactly once even when the
+// poll interval is long.
+func (m *Monitor) DrainWorkload() []WorkloadEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]WorkloadEntry, 0, m.workLen)
+	start := m.workPos - m.workLen
+	if start < 0 {
+		start += m.workCap
+	}
+	for i := 0; i < m.workLen; i++ {
+		out = append(out, m.workload[(start+i)%m.workCap])
+	}
+	m.workLen = 0
+	m.workPos = 0
+	m.fullFired.Store(false)
+	return out
+}
+
+// TotalStatements returns the cumulative number of monitored
+// executions, unaffected by ring wraparound.
+func (m *Monitor) TotalStatements() int64 { return m.totalStatements.Load() }
+
+// TotalMonitorTime returns the cumulative time spent inside sensors.
+func (m *Monitor) TotalMonitorTime() time.Duration {
+	return time.Duration(m.totalMonNanos.Load())
+}
+
+// StatementCount returns the number of distinct statements currently in
+// the ring.
+func (m *Monitor) StatementCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.stmts)
+}

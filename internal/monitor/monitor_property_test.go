@@ -1,0 +1,109 @@
+package monitor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRingInvariants drives random statement streams through monitors
+// of random capacities and checks the structural invariants: the
+// statement ring never exceeds its capacity, survivors are the most
+// recent distinct statements, frequencies sum to the number of
+// executions of surviving statements, and the workload ring holds
+// min(total, capacity) entries.
+func TestRingInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stmtCap := 2 + r.Intn(30)
+		workCap := 2 + r.Intn(50)
+		m := New(Config{StatementCapacity: stmtCap, WorkloadCapacity: workCap})
+		total := 1 + r.Intn(300)
+		distinctPool := 1 + r.Intn(60)
+
+		counts := map[string]int64{}
+		var order []string // last-seen order of distinct statements
+		for i := 0; i < total; i++ {
+			text := fmt.Sprintf("SELECT %d", r.Intn(distinctPool))
+			h := m.StartStatement(text)
+			h.Parsed("SELECT", []string{"t"})
+			h.Finish(1, 0, 1, nil)
+			counts[text]++
+			for j, s := range order {
+				if s == text {
+					order = append(order[:j], order[j+1:]...)
+					break
+				}
+			}
+			order = append(order, text)
+		}
+
+		snap := m.Snapshot()
+		if len(snap.Statements) > stmtCap {
+			return false
+		}
+		if len(snap.Workload) != min(total, workCap) {
+			return false
+		}
+		if m.TotalStatements() != int64(total) {
+			return false
+		}
+		// A statement that was evicted and re-observed restarts its
+		// frequency, so the surviving frequency is bounded by the true
+		// count but must stay positive.
+		for _, si := range snap.Statements {
+			if si.Frequency < 1 || si.Frequency > counts[si.Text] {
+				return false
+			}
+		}
+		// When no eviction was possible, frequencies are exact.
+		if distinctPool <= stmtCap {
+			for _, si := range snap.Statements {
+				if si.Frequency != counts[si.Text] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestSnapshotIsConsistentUnderLoad takes snapshots while writers run
+// and checks each snapshot is internally consistent (run with -race to
+// catch synchronization bugs).
+func TestSnapshotIsConsistentUnderLoad(t *testing.T) {
+	m := New(Config{StatementCapacity: 20, WorkloadCapacity: 50})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 3000; i++ {
+			h := m.StartStatement(fmt.Sprintf("SELECT %d", i%40))
+			h.Parsed("SELECT", []string{"t"})
+			h.Finish(1, 0, 1, nil)
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		snap := m.Snapshot()
+		if len(snap.Statements) > 20 || len(snap.Workload) > 50 {
+			t.Fatalf("snapshot exceeds capacities: %d stmts, %d workload",
+				len(snap.Statements), len(snap.Workload))
+		}
+		for _, si := range snap.Statements {
+			if si.Frequency <= 0 {
+				t.Fatalf("non-positive frequency: %+v", si)
+			}
+		}
+	}
+	<-done
+}

@@ -1,0 +1,221 @@
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func record(m *Monitor, text string, tables []string) {
+	h := m.StartStatement(text)
+	h.Parsed("SELECT", tables)
+	h.Optimized(10, 5, 100, []string{"t.a"}, []string{"ix_a"}, time.Microsecond)
+	h.Finish(120, 7, 100, nil)
+}
+
+func TestBasicRecording(t *testing.T) {
+	m := New(Config{})
+	record(m, "SELECT a FROM t WHERE a = 1", []string{"t"})
+	record(m, "SELECT a FROM t WHERE a = 1", []string{"t"})
+	record(m, "SELECT b FROM u", []string{"u"})
+
+	s := m.Snapshot()
+	if len(s.Statements) != 2 {
+		t.Fatalf("statements = %d", len(s.Statements))
+	}
+	var freq1 int64
+	for _, si := range s.Statements {
+		if si.Text == "SELECT a FROM t WHERE a = 1" {
+			freq1 = si.Frequency
+			if si.Kind != "SELECT" {
+				t.Errorf("kind = %q", si.Kind)
+			}
+		}
+	}
+	if freq1 != 2 {
+		t.Errorf("frequency = %d", freq1)
+	}
+	if len(s.Workload) != 3 {
+		t.Errorf("workload entries = %d", len(s.Workload))
+	}
+	w := s.Workload[0]
+	if w.ExecCPU != 120 || w.ExecIO != 7 || w.EstCPU != 10 || w.EstIO != 5 || w.Rows != 100 {
+		t.Errorf("workload entry: %+v", w)
+	}
+	if w.Wall <= 0 || w.MonNanos <= 0 {
+		t.Errorf("timings not recorded: wall=%v mon=%v", w.Wall, w.MonNanos)
+	}
+	if m.TotalStatements() != 3 {
+		t.Errorf("TotalStatements = %d", m.TotalStatements())
+	}
+	if s.TableFreq["t"] != 2 || s.TableFreq["u"] != 1 {
+		t.Errorf("table freq: %v", s.TableFreq)
+	}
+	if s.AttrFreq["t.a"] != 3 {
+		t.Errorf("attr freq: %v", s.AttrFreq)
+	}
+	if s.IndexFreq["ix_a"] != 3 {
+		t.Errorf("index freq: %v", s.IndexFreq)
+	}
+}
+
+func TestReferencesRecordedOncePerStatement(t *testing.T) {
+	m := New(Config{})
+	for i := 0; i < 5; i++ {
+		record(m, "SELECT a FROM t", []string{"t"})
+	}
+	s := m.Snapshot()
+	var tableRefs int
+	for _, r := range s.References {
+		if r.Type == ObjTable && r.Name == "t" {
+			tableRefs++
+		}
+	}
+	if tableRefs != 1 {
+		t.Errorf("table reference rows = %d, want 1", tableRefs)
+	}
+}
+
+func TestStatementRingEviction(t *testing.T) {
+	m := New(Config{StatementCapacity: 10})
+	for i := 0; i < 25; i++ {
+		record(m, fmt.Sprintf("SELECT %d FROM t", i), []string{"t"})
+	}
+	if got := m.StatementCount(); got != 10 {
+		t.Fatalf("StatementCount = %d, want 10", got)
+	}
+	s := m.Snapshot()
+	if len(s.Statements) != 10 {
+		t.Fatalf("snapshot statements = %d", len(s.Statements))
+	}
+	// The survivors must be the most recent 10.
+	for _, si := range s.Statements {
+		var n int
+		fmt.Sscanf(si.Text, "SELECT %d FROM t", &n)
+		if n < 15 {
+			t.Errorf("old statement %q survived eviction", si.Text)
+		}
+	}
+	if m.TotalStatements() != 25 {
+		t.Errorf("TotalStatements = %d (must survive eviction)", m.TotalStatements())
+	}
+}
+
+func TestWorkloadRingWraps(t *testing.T) {
+	m := New(Config{WorkloadCapacity: 8})
+	for i := 0; i < 20; i++ {
+		record(m, "SELECT 1 FROM t", []string{"t"})
+	}
+	s := m.Snapshot()
+	if len(s.Workload) != 8 {
+		t.Fatalf("workload = %d, want 8", len(s.Workload))
+	}
+}
+
+func TestDrainWorkload(t *testing.T) {
+	m := New(Config{WorkloadCapacity: 100})
+	for i := 0; i < 5; i++ {
+		record(m, "SELECT 1 FROM t", []string{"t"})
+	}
+	got := m.DrainWorkload()
+	if len(got) != 5 {
+		t.Fatalf("drained %d", len(got))
+	}
+	if len(m.DrainWorkload()) != 0 {
+		t.Error("second drain returned data")
+	}
+	record(m, "SELECT 1 FROM t", []string{"t"})
+	if len(m.DrainWorkload()) != 1 {
+		t.Error("drain after refill broken")
+	}
+}
+
+func TestDisabledMonitorIsNoop(t *testing.T) {
+	m := New(Config{})
+	m.SetEnabled(false)
+	h := m.StartStatement("SELECT 1 FROM t")
+	if h != nil {
+		t.Fatal("disabled monitor returned a handle")
+	}
+	// All handle methods must be nil-safe.
+	h.Parsed("SELECT", []string{"t"})
+	h.Optimized(1, 1, 1, nil, nil, 0)
+	h.Finish(1, 1, 1, nil)
+	if m.TotalStatements() != 0 {
+		t.Error("disabled monitor recorded data")
+	}
+
+	var nilMon *Monitor
+	if nilMon.StartStatement("x") != nil {
+		t.Error("nil monitor returned a handle")
+	}
+}
+
+func TestErrorFlag(t *testing.T) {
+	m := New(Config{})
+	h := m.StartStatement("SELECT broken")
+	h.Parsed("SELECT", nil)
+	h.Finish(0, 0, 0, errors.New("boom"))
+	s := m.Snapshot()
+	if len(s.Workload) != 1 || !s.Workload[0].Err {
+		t.Errorf("error flag not recorded: %+v", s.Workload)
+	}
+}
+
+func TestHashStability(t *testing.T) {
+	if HashStatement("abc") != HashStatement("abc") {
+		t.Error("hash not deterministic")
+	}
+	if HashStatement("abc") == HashStatement("abd") {
+		t.Error("suspicious hash collision")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	m := New(Config{StatementCapacity: 50, WorkloadCapacity: 1000})
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 200
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		g := g
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				record(m, fmt.Sprintf("SELECT %d FROM t%d", i%20, g), []string{fmt.Sprintf("t%d", g)})
+			}
+		}()
+	}
+	wg.Wait()
+	if m.TotalStatements() != goroutines*perG {
+		t.Errorf("TotalStatements = %d, want %d", m.TotalStatements(), goroutines*perG)
+	}
+	s := m.Snapshot()
+	var totalFreq int64
+	for _, f := range s.TableFreq {
+		totalFreq += f
+	}
+	if totalFreq != goroutines*perG {
+		t.Errorf("table frequency sum = %d", totalFreq)
+	}
+}
+
+func TestMonitorOverheadIsMicrosecondScale(t *testing.T) {
+	// Not a benchmark assertion, just a sanity bound: a full sensor
+	// cycle must stay well under a millisecond.
+	m := New(Config{})
+	start := time.Now()
+	const n = 1000
+	for i := 0; i < n; i++ {
+		record(m, "SELECT a FROM t WHERE a = 1", []string{"t"})
+	}
+	perStmt := time.Since(start) / n
+	if perStmt > time.Millisecond {
+		t.Errorf("monitor cycle took %v per statement", perStmt)
+	}
+	if m.TotalMonitorTime() <= 0 {
+		t.Error("monitor self-time not accumulated")
+	}
+}

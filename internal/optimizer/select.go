@@ -1,0 +1,323 @@
+package optimizer
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// aggFuncs are the supported aggregate functions.
+var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+// collectAggs walks an expression and appends every aggregate call,
+// deduplicated structurally.
+func collectAggs(e sqlparser.Expr, aggs []sqlparser.FuncCall) []sqlparser.FuncCall {
+	sqlparser.WalkExprs(e, func(x sqlparser.Expr) {
+		fc, ok := x.(sqlparser.FuncCall)
+		if !ok || !aggFuncs[fc.Name] {
+			return
+		}
+		for _, a := range aggs {
+			if reflect.DeepEqual(a, fc) {
+				return
+			}
+		}
+		aggs = append(aggs, fc)
+	})
+	return aggs
+}
+
+// applyAggregation inserts an Agg node when the statement groups or
+// aggregates, and prepares the rewriter used by projection and HAVING.
+func (p *planner) applyAggregation(root Node) (Node, error) {
+	var aggs []sqlparser.FuncCall
+	for _, item := range p.st.Items {
+		if !item.Star {
+			aggs = collectAggs(item.Expr, aggs)
+		}
+	}
+	aggs = collectAggs(p.st.Having, aggs)
+	if len(aggs) == 0 && len(p.st.GroupBy) == 0 {
+		if p.st.Having != nil {
+			return nil, fmt.Errorf("optimizer: HAVING requires GROUP BY or aggregates")
+		}
+		return root, nil
+	}
+
+	// Record attributes referenced inside the aggregates and groups.
+	for _, g := range p.st.GroupBy {
+		if _, err := p.exprRels(g); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range aggs {
+		for _, arg := range a.Args {
+			if _, err := p.exprRels(arg); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	specs := make([]AggSpec, len(aggs))
+	outCols := make([]OutCol, 0, len(p.st.GroupBy)+len(aggs))
+	for i, g := range p.st.GroupBy {
+		typ := sqltypes.Null
+		if c, ok := g.(sqlparser.ColumnRef); ok {
+			if _, _, t, err := p.resolveColumn(c); err == nil {
+				typ = t
+			}
+		}
+		outCols = append(outCols, OutCol{Table: "#", Name: fmt.Sprintf("g%d", i), Type: typ})
+	}
+	for j, a := range aggs {
+		specs[j] = AggSpec{Func: a.Name, Star: a.Star, Distinct: a.Distinct}
+		if len(a.Args) > 0 {
+			specs[j].Arg = a.Args[0]
+		}
+		typ := sqltypes.Float
+		if a.Name == "COUNT" {
+			typ = sqltypes.Int
+		}
+		outCols = append(outCols, OutCol{Table: "#", Name: fmt.Sprintf("a%d", j), Type: typ})
+	}
+
+	agg := &Agg{
+		Input:   root,
+		GroupBy: p.st.GroupBy,
+		Aggs:    specs,
+		outCols: outCols,
+		EstC:    aggCost(root.Est(), len(p.st.GroupBy)),
+	}
+	p.agg = agg
+	p.aggCalls = aggs
+
+	if p.st.Having != nil {
+		hv, err := p.rewritePostAgg(p.st.Having)
+		if err != nil {
+			return nil, err
+		}
+		agg.Having = hv
+	}
+	return agg, nil
+}
+
+// rewritePostAgg rewrites an expression evaluated after aggregation so
+// that group expressions and aggregate calls reference the Agg node's
+// "#" output columns.
+func (p *planner) rewritePostAgg(e sqlparser.Expr) (sqlparser.Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	for i, g := range p.st.GroupBy {
+		if reflect.DeepEqual(e, g) {
+			return sqlparser.ColumnRef{Table: "#", Name: fmt.Sprintf("g%d", i)}, nil
+		}
+	}
+	if fc, ok := e.(sqlparser.FuncCall); ok && aggFuncs[fc.Name] {
+		for j, a := range p.aggCalls {
+			if reflect.DeepEqual(a, fc) {
+				return sqlparser.ColumnRef{Table: "#", Name: fmt.Sprintf("a%d", j)}, nil
+			}
+		}
+		return nil, fmt.Errorf("optimizer: internal: aggregate %s not collected", fc.Name)
+	}
+	switch x := e.(type) {
+	case sqlparser.ColumnRef:
+		return nil, fmt.Errorf("optimizer: column %s must appear in GROUP BY or inside an aggregate", x.Name)
+	case sqlparser.Literal, sqlparser.Param:
+		return e, nil
+	case sqlparser.BinaryExpr:
+		l, err := p.rewritePostAgg(x.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := p.rewritePostAgg(x.Right)
+		if err != nil {
+			return nil, err
+		}
+		return sqlparser.BinaryExpr{Op: x.Op, Left: l, Right: r}, nil
+	case sqlparser.UnaryExpr:
+		o, err := p.rewritePostAgg(x.Operand)
+		if err != nil {
+			return nil, err
+		}
+		return sqlparser.UnaryExpr{Op: x.Op, Operand: o}, nil
+	case sqlparser.InExpr:
+		n, err := p.rewritePostAgg(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]sqlparser.Expr, len(x.List))
+		for i, it := range x.List {
+			if list[i], err = p.rewritePostAgg(it); err != nil {
+				return nil, err
+			}
+		}
+		return sqlparser.InExpr{Not: x.Not, Expr: n, List: list}, nil
+	case sqlparser.BetweenExpr:
+		v, err := p.rewritePostAgg(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := p.rewritePostAgg(x.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := p.rewritePostAgg(x.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return sqlparser.BetweenExpr{Not: x.Not, Expr: v, Lo: lo, Hi: hi}, nil
+	case sqlparser.IsNullExpr:
+		v, err := p.rewritePostAgg(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		return sqlparser.IsNullExpr{Not: x.Not, Expr: v}, nil
+	default:
+		return nil, fmt.Errorf("optimizer: unsupported expression %T after aggregation", e)
+	}
+}
+
+// applyProjection builds the Project node from the select list.
+func (p *planner) applyProjection(root Node) (Node, error) {
+	var exprs []sqlparser.Expr
+	var names []OutCol
+	for _, item := range p.st.Items {
+		if item.Star {
+			if p.agg != nil {
+				return nil, fmt.Errorf("optimizer: SELECT * cannot be combined with GROUP BY or aggregates")
+			}
+			for _, oc := range root.Out() {
+				if item.Table != "" && !strings.EqualFold(item.Table, oc.Table) {
+					continue
+				}
+				exprs = append(exprs, sqlparser.ColumnRef{Table: oc.Table, Name: oc.Name})
+				names = append(names, oc)
+			}
+			if item.Table != "" && len(exprs) == 0 {
+				return nil, fmt.Errorf("optimizer: unknown table %q in %s.*", item.Table, item.Table)
+			}
+			continue
+		}
+		e := item.Expr
+		if p.agg != nil {
+			var err error
+			if e, err = p.rewritePostAgg(e); err != nil {
+				return nil, err
+			}
+		} else if _, err := p.exprRels(e); err != nil {
+			return nil, err
+		}
+		name := item.Alias
+		typ := sqltypes.Null
+		if c, ok := item.Expr.(sqlparser.ColumnRef); ok {
+			if name == "" {
+				name = c.Name
+			}
+			if p.agg == nil {
+				if _, _, t, err := p.resolveColumn(c); err == nil {
+					typ = t
+				}
+			}
+		}
+		if fc, ok := item.Expr.(sqlparser.FuncCall); ok && name == "" {
+			name = strings.ToLower(fc.Name)
+		}
+		if name == "" {
+			name = fmt.Sprintf("col%d", len(names)+1)
+		}
+		exprs = append(exprs, e)
+		names = append(names, OutCol{Name: name, Type: typ})
+	}
+	p.origItems = p.st.Items
+	p.project = &Project{Input: root, Exprs: exprs, Names: names, EstC: projectCost(root.Est())}
+	return p.project, nil
+}
+
+// applyOrderBy resolves ORDER BY items against the projection output:
+// by position (integer literal), by output column name/alias, or by
+// structural equality with a select-list expression.
+func (p *planner) applyOrderBy(root Node) (Node, error) {
+	if len(p.st.OrderBy) == 0 {
+		return root, nil
+	}
+	out := root.Out()
+	var keys []SortKey
+	for _, item := range p.st.OrderBy {
+		idx := -1
+		switch x := item.Expr.(type) {
+		case sqlparser.Literal:
+			if x.Val.T == sqltypes.Int {
+				pos := int(x.Val.I)
+				if pos < 1 || pos > len(out) {
+					return nil, fmt.Errorf("optimizer: ORDER BY position %d out of range", pos)
+				}
+				idx = pos - 1
+			}
+		case sqlparser.ColumnRef:
+			for i, oc := range out {
+				if strings.EqualFold(oc.Name, x.Name) &&
+					(x.Table == "" || strings.EqualFold(oc.Table, x.Table)) {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			// Try structural match with the original select items.
+			for i, it := range p.origItems {
+				if !it.Star && reflect.DeepEqual(it.Expr, item.Expr) {
+					idx = i
+					break
+				}
+			}
+		}
+		if idx < 0 {
+			// The expression is not in the select list: evaluate it as
+			// a hidden projection column, sort on it, and strip it
+			// afterwards.
+			if p.st.Distinct {
+				return nil, fmt.Errorf("optimizer: ORDER BY expression must appear in the select list with DISTINCT")
+			}
+			if root != p.project || p.project == nil {
+				return nil, fmt.Errorf("optimizer: ORDER BY expression must appear in the select list")
+			}
+			e := item.Expr
+			if p.agg != nil {
+				var err error
+				if e, err = p.rewritePostAgg(e); err != nil {
+					return nil, err
+				}
+			} else if _, err := p.exprRels(e); err != nil {
+				return nil, err
+			}
+			p.project.Exprs = append(p.project.Exprs, e)
+			p.project.Names = append(p.project.Names,
+				OutCol{Name: fmt.Sprintf("#order%d", len(p.project.Names))})
+			idx = len(p.project.Names) - 1
+		}
+		keys = append(keys, SortKey{Col: idx, Desc: item.Desc})
+	}
+	visible := len(p.project.Names)
+	if p.project != nil && root == p.project {
+		visible = len(p.st.Items)
+		// Star items expand to several columns; recount the visible
+		// prefix from the names that are not hidden order columns.
+		visible = 0
+		for _, n := range p.project.Names {
+			if strings.HasPrefix(n.Name, "#order") {
+				break
+			}
+			visible++
+		}
+	}
+	var result Node = &Sort{Input: root, Keys: keys, EstC: sortCost(root.Est())}
+	if root == p.project && visible < len(p.project.Names) {
+		result = &Strip{Input: result, Keep: visible, EstC: result.Est()}
+	}
+	return result, nil
+}

@@ -1,0 +1,220 @@
+// Package sqlparser implements the SQL dialect of the engine: a lexer,
+// a recursive-descent parser producing an AST, and a normalizer that
+// extracts literals as parameters so that structurally identical
+// statements share a plan-cache entry.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokSymbol // operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string // keyword/ident/symbol text (keywords upper-cased)
+	pos  int
+}
+
+// keywordList enumerates the keywords recognized by the lexer.
+// Identifiers matching these (case insensitive) become keyword tokens.
+var keywordList = []string{
+	"SELECT", "DISTINCT", "FROM", "WHERE",
+	"GROUP", "BY", "HAVING", "ORDER",
+	"ASC", "DESC", "LIMIT", "OFFSET",
+	"JOIN", "INNER", "LEFT", "ON", "AS",
+	"AND", "OR", "NOT", "IN", "BETWEEN",
+	"LIKE", "IS", "NULL",
+	"CREATE", "TABLE", "DROP", "INDEX",
+	"VIRTUAL", "UNIQUE", "PRIMARY", "KEY",
+	"INSERT", "INTO", "VALUES",
+	"UPDATE", "SET", "DELETE",
+	"MODIFY", "TO", "HEAP", "BTREE",
+	"STATISTICS", "FOR", "EXPLAIN", "WHATIF",
+	"INTEGER", "INT", "BIGINT",
+	"FLOAT", "REAL", "DOUBLE",
+	"VARCHAR", "CHAR", "TEXT",
+	"COUNT", "SUM", "AVG", "MIN", "MAX",
+	"IF", "EXISTS",
+}
+
+// keywords maps the upper-cased spelling to an interned canonical
+// string, so keyword tokens never allocate.
+var keywords = func() map[string]string {
+	m := make(map[string]string, len(keywordList))
+	for _, k := range keywordList {
+		m[k] = k
+	}
+	return m
+}()
+
+// maxKeywordLen bounds the upper-casing scratch buffer.
+const maxKeywordLen = 10 // "STATISTICS"
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src. It returns a descriptive error with byte position
+// on bad input.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, toks: make([]token, 0, len(src)/4+4)}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.pos++
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			if kw, ok := lookupKeyword(word); ok {
+				l.toks = append(l.toks, token{kind: tokKeyword, text: kw, pos: start})
+			} else {
+				l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c >= '0' && c <= '9':
+			kind := tokInt
+			l.pos++
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+			if l.pos < len(l.src) && l.src[l.pos] == '.' {
+				kind = tokFloat
+				l.pos++
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+			}
+			if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+				kind = tokFloat
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				if l.pos >= len(l.src) || !isDigit(l.src[l.pos]) {
+					return nil, fmt.Errorf("sql: malformed number at byte %d", start)
+				}
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+			}
+			l.toks = append(l.toks, token{kind: kind, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			bodyStart := l.pos
+			escaped := false
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sql: unterminated string starting at byte %d", start)
+				}
+				if l.src[l.pos] == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						escaped = true
+						l.pos += 2
+						continue
+					}
+					break
+				}
+				l.pos++
+			}
+			text := l.src[bodyStart:l.pos] // no copy in the common case
+			l.pos++
+			if escaped {
+				text = strings.ReplaceAll(text, "''", "'")
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: text, pos: start})
+		case strings.IndexByte("(),*.+-/%=;", c) >= 0:
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		case c == '<':
+			l.pos++
+			sym := "<"
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+				sym += string(l.src[l.pos])
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: sym, pos: start})
+		case c == '>':
+			l.pos++
+			sym := ">"
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				sym = ">="
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: sym, pos: start})
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.pos += 2
+				l.toks = append(l.toks, token{kind: tokSymbol, text: "<>", pos: start})
+				break
+			}
+			return nil, fmt.Errorf("sql: unexpected '!' at byte %d", start)
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at byte %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+func isDigit(c byte) bool     { return c >= '0' && c <= '9' }
+
+// lookupKeyword reports whether word is a keyword, returning the
+// interned upper-case spelling. It upper-cases into a stack buffer so
+// the lookup never allocates.
+func lookupKeyword(word string) (string, bool) {
+	if len(word) > maxKeywordLen {
+		return "", false
+	}
+	var buf [maxKeywordLen]byte
+	for i := 0; i < len(word); i++ {
+		c := word[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		buf[i] = c
+	}
+	kw, ok := keywords[string(buf[:len(word)])]
+	return kw, ok
+}

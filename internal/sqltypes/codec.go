@@ -1,0 +1,133 @@
+package sqltypes
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// EncodeRow appends a compact, self-describing encoding of the row to
+// dst and returns the extended slice. The encoding is:
+//
+//	varint(ncols) then per column: 1 type byte followed by
+//	  Int   → zig-zag varint
+//	  Float → 8 bytes little-endian IEEE-754
+//	  Text  → varint length + bytes
+//	  Null  → nothing
+func EncodeRow(dst []byte, r Row) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r)))
+	for _, v := range r {
+		dst = append(dst, byte(v.T))
+		switch v.T {
+		case Int:
+			dst = binary.AppendVarint(dst, v.I)
+		case Float:
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.F))
+		case Text:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		}
+	}
+	return dst
+}
+
+// DecodeRow decodes a row previously produced by EncodeRow.
+func DecodeRow(b []byte) (Row, error) {
+	n, off := binary.Uvarint(b)
+	if off <= 0 {
+		return nil, fmt.Errorf("sqltypes: corrupt row header")
+	}
+	if n > uint64(len(b)) { // cheap sanity bound: ≥1 byte per column
+		return nil, fmt.Errorf("sqltypes: implausible column count %d", n)
+	}
+	r := make(Row, n)
+	for i := range r {
+		if off >= len(b) {
+			return nil, fmt.Errorf("sqltypes: truncated row at column %d", i)
+		}
+		t := Type(b[off])
+		off++
+		switch t {
+		case Null:
+			r[i] = NullValue()
+		case Int:
+			v, n := binary.Varint(b[off:])
+			if n <= 0 {
+				return nil, fmt.Errorf("sqltypes: corrupt int at column %d", i)
+			}
+			off += n
+			r[i] = NewInt(v)
+		case Float:
+			if off+8 > len(b) {
+				return nil, fmt.Errorf("sqltypes: corrupt float at column %d", i)
+			}
+			r[i] = NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b[off:])))
+			off += 8
+		case Text:
+			l, n := binary.Uvarint(b[off:])
+			if n <= 0 || off+n+int(l) > len(b) {
+				return nil, fmt.Errorf("sqltypes: corrupt text at column %d", i)
+			}
+			off += n
+			r[i] = NewText(string(b[off : off+int(l)]))
+			off += int(l)
+		default:
+			return nil, fmt.Errorf("sqltypes: unknown type tag %d at column %d", t, i)
+		}
+	}
+	return r, nil
+}
+
+// Key-encoding type tags, chosen so that encoded byte strings sort in
+// the same order as Compare: NULL < numbers < text.
+const (
+	keyNull  byte = 0x01
+	keyNum   byte = 0x02
+	keyText  byte = 0x03
+	keyIntHi byte = 0x04 // disambiguates huge ints that collide as floats
+)
+
+// EncodeKey appends an order-preserving encoding of the values to dst:
+// bytes.Compare(EncodeKey(a), EncodeKey(b)) matches lexicographic
+// Compare over the value slices. Used for B-Tree keys.
+func EncodeKey(dst []byte, vals ...Value) []byte {
+	for _, v := range vals {
+		switch v.T {
+		case Null:
+			dst = append(dst, keyNull)
+		case Int, Float:
+			dst = append(dst, keyNum)
+			f := v.AsFloat()
+			bits := math.Float64bits(f)
+			// Flip so that negative floats sort before positive ones.
+			if bits&(1<<63) != 0 {
+				bits = ^bits
+			} else {
+				bits |= 1 << 63
+			}
+			dst = binary.BigEndian.AppendUint64(dst, bits)
+			// Tie-break exact integers that round to the same float.
+			if v.T == Int {
+				dst = append(dst, keyIntHi)
+				dst = binary.BigEndian.AppendUint64(dst, uint64(v.I)^(1<<63))
+			} else {
+				dst = append(dst, keyIntHi)
+				dst = binary.BigEndian.AppendUint64(dst, uint64(int64(f))^(1<<63))
+			}
+		case Text:
+			dst = append(dst, keyText)
+			// Escape 0x00 as 0x00 0xFF so the 0x00 0x00 terminator
+			// preserves prefix ordering.
+			for i := 0; i < len(v.S); i++ {
+				c := v.S[i]
+				if c == 0x00 {
+					dst = append(dst, 0x00, 0xFF)
+					continue
+				}
+				dst = append(dst, c)
+			}
+			dst = append(dst, 0x00, 0x00)
+		}
+	}
+	return dst
+}

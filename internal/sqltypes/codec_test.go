@@ -1,0 +1,119 @@
+package sqltypes
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestEncodeDecodeRowRoundTrip(t *testing.T) {
+	rows := []Row{
+		nil,
+		{},
+		{NewInt(0)},
+		{NewInt(-123456789), NewFloat(3.25), NewText("hello"), NullValue()},
+		{NewText(""), NewText(string([]byte{0, 1, 2, 255}))},
+	}
+	for _, r := range rows {
+		enc := EncodeRow(nil, r)
+		dec, err := DecodeRow(enc)
+		if err != nil {
+			t.Fatalf("DecodeRow(%v): %v", r, err)
+		}
+		if len(dec) != len(r) {
+			t.Fatalf("round trip length mismatch: %d vs %d", len(dec), len(r))
+		}
+		for i := range r {
+			if !Equal(dec[i], r[i]) || dec[i].T != r[i].T {
+				t.Fatalf("column %d: got %+v want %+v", i, dec[i], r[i])
+			}
+		}
+	}
+}
+
+func TestDecodeRowCorrupt(t *testing.T) {
+	bad := [][]byte{
+		{},                            // empty
+		{0x05},                        // claims 5 columns, no data
+		{0x01, 0x09},                  // unknown type tag
+		{0x01, byte(Float)},           // truncated float
+		{0x01, byte(Text), 0x05, 'a'}, // truncated text
+		{0x02, byte(Int), 0x80},       // corrupt varint then missing col
+	}
+	for i, b := range bad {
+		if _, err := DecodeRow(b); err == nil {
+			t.Errorf("case %d: expected error for %v", i, b)
+		}
+	}
+}
+
+func TestEncodeRowRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		row := make(Row, r.Intn(8))
+		for j := range row {
+			row[j] = randomValue(r)
+		}
+		dec, err := DecodeRow(EncodeRow(nil, row))
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		for j := range row {
+			if dec[j].T != row[j].T || !Equal(dec[j], row[j]) {
+				t.Fatalf("iteration %d col %d: got %+v want %+v", i, j, dec[j], row[j])
+			}
+		}
+	}
+}
+
+func TestEncodeKeyOrderMatchesCompare(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 4000; i++ {
+		a, b := randomValue(r), randomValue(r)
+		ka := EncodeKey(nil, a)
+		kb := EncodeKey(nil, b)
+		want := Compare(a, b)
+		got := bytes.Compare(ka, kb)
+		if sign(got) != sign(want) {
+			t.Fatalf("key order mismatch for %v (%x) vs %v (%x): key %d, compare %d",
+				a, ka, b, kb, got, want)
+		}
+	}
+}
+
+func TestEncodeKeyCompositeOrder(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 2000; i++ {
+		a := Row{randomValue(r), randomValue(r)}
+		b := Row{randomValue(r), randomValue(r)}
+		ka := EncodeKey(nil, a...)
+		kb := EncodeKey(nil, b...)
+		want := Compare(a[0], b[0])
+		if want == 0 {
+			want = Compare(a[1], b[1])
+		}
+		if sign(bytes.Compare(ka, kb)) != sign(want) {
+			t.Fatalf("composite key order mismatch: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestEncodeKeyTextWithZeros(t *testing.T) {
+	// "a\x00b" must sort between "a" and "a\x01".
+	k1 := EncodeKey(nil, NewText("a"))
+	k2 := EncodeKey(nil, NewText("a\x00b"))
+	k3 := EncodeKey(nil, NewText("a\x01"))
+	if !(bytes.Compare(k1, k2) < 0 && bytes.Compare(k2, k3) < 0) {
+		t.Errorf("zero-byte escaping broken: %x %x %x", k1, k2, k3)
+	}
+}
+
+func sign(x int) int {
+	switch {
+	case x < 0:
+		return -1
+	case x > 0:
+		return 1
+	}
+	return 0
+}

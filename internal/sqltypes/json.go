@@ -1,0 +1,58 @@
+package sqltypes
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jsonValue is the wire form of a Value for catalog persistence.
+type jsonValue struct {
+	T Type     `json:"t"`
+	I *int64   `json:"i,omitempty"`
+	F *float64 `json:"f,omitempty"`
+	S *string  `json:"s,omitempty"`
+}
+
+// MarshalJSON encodes the value for catalog files.
+func (v Value) MarshalJSON() ([]byte, error) {
+	jv := jsonValue{T: v.T}
+	switch v.T {
+	case Int:
+		jv.I = &v.I
+	case Float:
+		jv.F = &v.F
+	case Text:
+		jv.S = &v.S
+	}
+	return json.Marshal(jv)
+}
+
+// UnmarshalJSON decodes a value written by MarshalJSON.
+func (v *Value) UnmarshalJSON(b []byte) error {
+	var jv jsonValue
+	if err := json.Unmarshal(b, &jv); err != nil {
+		return err
+	}
+	switch jv.T {
+	case Null:
+		*v = NullValue()
+	case Int:
+		if jv.I == nil {
+			return fmt.Errorf("sqltypes: int value missing payload")
+		}
+		*v = NewInt(*jv.I)
+	case Float:
+		if jv.F == nil {
+			return fmt.Errorf("sqltypes: float value missing payload")
+		}
+		*v = NewFloat(*jv.F)
+	case Text:
+		if jv.S == nil {
+			return fmt.Errorf("sqltypes: text value missing payload")
+		}
+		*v = NewText(*jv.S)
+	default:
+		return fmt.Errorf("sqltypes: unknown type tag %d in JSON", jv.T)
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+// Package sqltypes defines the SQL value model shared by every layer of
+// the engine: typed values, schemas, rows, a compact row codec and an
+// order-preserving key encoding used by the B-Tree storage structure.
+package sqltypes
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Type identifies the runtime type of a Value.
+type Type uint8
+
+// The supported SQL types. Null is the type of the SQL NULL literal;
+// typed columns may still hold NULL values.
+const (
+	Null Type = iota
+	Int
+	Float
+	Text
+)
+
+// String returns the SQL name of the type.
+func (t Type) String() string {
+	switch t {
+	case Null:
+		return "NULL"
+	case Int:
+		return "INTEGER"
+	case Float:
+		return "FLOAT"
+	case Text:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	T Type
+	I int64
+	F float64
+	S string
+}
+
+// NewInt returns an INTEGER value.
+func NewInt(i int64) Value { return Value{T: Int, I: i} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(f float64) Value { return Value{T: Float, F: f} }
+
+// NewText returns a VARCHAR value.
+func NewText(s string) Value { return Value{T: Text, S: s} }
+
+// NullValue returns the SQL NULL value.
+func NullValue() Value { return Value{T: Null} }
+
+// NewBool returns the engine's boolean representation (an INTEGER 0/1),
+// matching classic Ingres which has no standalone boolean column type.
+func NewBool(b bool) Value {
+	if b {
+		return Value{T: Int, I: 1}
+	}
+	return Value{T: Int, I: 0}
+}
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.T == Null }
+
+// Bool interprets the value as a predicate result: NULL and zero are
+// false, everything else is true.
+func (v Value) Bool() bool {
+	switch v.T {
+	case Null:
+		return false
+	case Int:
+		return v.I != 0
+	case Float:
+		return v.F != 0
+	case Text:
+		return v.S != ""
+	}
+	return false
+}
+
+// AsFloat converts a numeric value to float64. Text values that do not
+// parse yield 0; NULL yields 0.
+func (v Value) AsFloat() float64 {
+	switch v.T {
+	case Int:
+		return float64(v.I)
+	case Float:
+		return v.F
+	case Text:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	}
+	return 0
+}
+
+// AsInt converts a numeric value to int64, truncating floats.
+func (v Value) AsInt() int64 {
+	switch v.T {
+	case Int:
+		return v.I
+	case Float:
+		return int64(v.F)
+	case Text:
+		i, _ := strconv.ParseInt(v.S, 10, 64)
+		return i
+	}
+	return 0
+}
+
+// String renders the value for display. NULL renders as "NULL", text is
+// returned verbatim (unquoted).
+func (v Value) String() string {
+	switch v.T {
+	case Null:
+		return "NULL"
+	case Int:
+		return strconv.FormatInt(v.I, 10)
+	case Float:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case Text:
+		return v.S
+	default:
+		return "?"
+	}
+}
+
+// SQLLiteral renders the value as a SQL literal (text quoted).
+func (v Value) SQLLiteral() string {
+	if v.T == Text {
+		return "'" + escapeQuotes(v.S) + "'"
+	}
+	return v.String()
+}
+
+func escapeQuotes(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			out = append(out, '\'', '\'')
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+// Compare orders two values. NULL sorts before every non-NULL value and
+// equal to NULL (three-valued logic is handled by the expression layer,
+// not here — Compare defines the total order used for sorting and keys).
+// Numeric values compare numerically across Int/Float; comparing a
+// number with text orders numbers first, giving a deterministic total
+// order over heterogeneous values.
+func Compare(a, b Value) int {
+	if a.T == Null || b.T == Null {
+		switch {
+		case a.T == Null && b.T == Null:
+			return 0
+		case a.T == Null:
+			return -1
+		default:
+			return 1
+		}
+	}
+	an, aIsNum := a.numeric()
+	bn, bIsNum := b.numeric()
+	switch {
+	case aIsNum && bIsNum:
+		switch {
+		case an < bn:
+			return -1
+		case an > bn:
+			return 1
+		default:
+			// Distinguish e.g. Int(1<<60) from nearby floats exactly.
+			if a.T == Int && b.T == Int {
+				switch {
+				case a.I < b.I:
+					return -1
+				case a.I > b.I:
+					return 1
+				}
+			}
+			return 0
+		}
+	case aIsNum:
+		return -1
+	case bIsNum:
+		return 1
+	default:
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+func (v Value) numeric() (float64, bool) {
+	switch v.T {
+	case Int:
+		return float64(v.I), true
+	case Float:
+		return v.F, true
+	}
+	return 0, false
+}
+
+// Equal reports whether two values are identical under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Hash returns a 64-bit FNV-1a hash of the value, consistent with Equal
+// for values of the same type class.
+func (v Value) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h ^= uint64(b); h *= prime64 }
+	switch v.T {
+	case Null:
+		mix(0)
+	case Int, Float:
+		// Hash the numeric value so Int(2) and Float(2.0) collide, as
+		// they compare equal.
+		f := v.AsFloat()
+		if v.T == Int && float64(v.I) != f {
+			f = float64(v.I)
+		}
+		bits := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			mix(byte(bits >> (8 * i)))
+		}
+	case Text:
+		mix(1)
+		for i := 0; i < len(v.S); i++ {
+			mix(v.S[i])
+		}
+	}
+	return h
+}

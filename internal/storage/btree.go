@@ -1,0 +1,616 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// B+Tree node page layout:
+//
+//	[0]     node type: 1 = leaf, 2 = internal
+//	[1]     unused
+//	[2:4)   uint16 entry count
+//	[4:8)   uint32 next — leaf: right sibling (0 = none);
+//	        internal: leftmost child
+//	[8:10)  uint16 free-space end (entry bytes grow down from PageSize)
+//	[10:..) slot directory: per entry uint16 offset, uint16 klen, uint16 vlen
+//
+// Page 0 is the meta page: magic, root page number and entry count.
+const (
+	btLeaf     = 1
+	btInternal = 2
+
+	btHeaderSize = 10
+	btSlotSize   = 6
+
+	btMagic = 0x42543031 // "BT01"
+)
+
+// MaxEntrySize bounds len(key)+len(value) for a single B-Tree entry so
+// that at least three entries fit per node, keeping splits well-formed.
+const MaxEntrySize = (PageSize-btHeaderSize)/3 - btSlotSize
+
+func btType(d []byte) byte       { return d[0] }
+func btCount(d []byte) int       { return int(binary.LittleEndian.Uint16(d[2:4])) }
+func btNext(d []byte) uint32     { return binary.LittleEndian.Uint32(d[4:8]) }
+func btFreeEnd(d []byte) int     { return int(binary.LittleEndian.Uint16(d[8:10])) }
+func btSetType(d []byte, t byte) { d[0] = t }
+func btSetCount(d []byte, n int) { binary.LittleEndian.PutUint16(d[2:4], uint16(n)) }
+func btSetNext(d []byte, p uint32) {
+	binary.LittleEndian.PutUint32(d[4:8], p)
+}
+func btSetFreeEnd(d []byte, n int) { binary.LittleEndian.PutUint16(d[8:10], uint16(n)) }
+
+func btSlot(d []byte, i int) (off, klen, vlen int) {
+	base := btHeaderSize + i*btSlotSize
+	return int(binary.LittleEndian.Uint16(d[base : base+2])),
+		int(binary.LittleEndian.Uint16(d[base+2 : base+4])),
+		int(binary.LittleEndian.Uint16(d[base+4 : base+6]))
+}
+
+func btSetSlot(d []byte, i, off, klen, vlen int) {
+	base := btHeaderSize + i*btSlotSize
+	binary.LittleEndian.PutUint16(d[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(d[base+2:base+4], uint16(klen))
+	binary.LittleEndian.PutUint16(d[base+4:base+6], uint16(vlen))
+}
+
+func btKey(d []byte, i int) []byte {
+	off, klen, _ := btSlot(d, i)
+	return d[off : off+klen]
+}
+
+func btVal(d []byte, i int) []byte {
+	off, klen, vlen := btSlot(d, i)
+	return d[off+klen : off+klen+vlen]
+}
+
+// btSearch returns the index of the first entry with key >= target and
+// whether an exact match was found.
+func btSearch(d []byte, target []byte) (int, bool) {
+	lo, hi := 0, btCount(d)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(btKey(d, mid), target) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+func btFreeSpace(d []byte) int {
+	free := btFreeEnd(d)
+	if free == 0 {
+		free = PageSize
+	}
+	return free - btHeaderSize - btCount(d)*btSlotSize
+}
+
+// btInsertAt inserts (key, val) at index i, returning false if the node
+// lacks space even after compaction.
+func btInsertAt(d []byte, i int, key, val []byte) bool {
+	need := btSlotSize + len(key) + len(val)
+	if btFreeSpace(d) < need {
+		if btLiveSpace(d)+need > PageSize-btHeaderSize {
+			return false
+		}
+		btCompact(d)
+		if btFreeSpace(d) < need {
+			return false
+		}
+	}
+	n := btCount(d)
+	free := btFreeEnd(d)
+	if free == 0 {
+		free = PageSize
+	}
+	off := free - len(key) - len(val)
+	copy(d[off:], key)
+	copy(d[off+len(key):], val)
+	// Shift the slot directory up to make room at i.
+	base := btHeaderSize
+	copy(d[base+(i+1)*btSlotSize:base+(n+1)*btSlotSize], d[base+i*btSlotSize:base+n*btSlotSize])
+	btSetSlot(d, i, off, len(key), len(val))
+	btSetCount(d, n+1)
+	btSetFreeEnd(d, off)
+	return true
+}
+
+// btRemoveAt deletes the entry at index i (its bytes become dead space
+// until the next compaction).
+func btRemoveAt(d []byte, i int) {
+	n := btCount(d)
+	base := btHeaderSize
+	copy(d[base+i*btSlotSize:base+(n-1)*btSlotSize], d[base+(i+1)*btSlotSize:base+n*btSlotSize])
+	btSetCount(d, n-1)
+}
+
+// btLiveSpace returns the bytes needed to store all live entries.
+func btLiveSpace(d []byte) int {
+	total := btCount(d) * btSlotSize
+	for i := 0; i < btCount(d); i++ {
+		_, klen, vlen := btSlot(d, i)
+		total += klen + vlen
+	}
+	return total
+}
+
+// btCompact rewrites the node with entries packed contiguously.
+func btCompact(d []byte) {
+	n := btCount(d)
+	type ent struct{ k, v []byte }
+	ents := make([]ent, n)
+	for i := 0; i < n; i++ {
+		ents[i] = ent{append([]byte(nil), btKey(d, i)...), append([]byte(nil), btVal(d, i)...)}
+	}
+	free := PageSize
+	for i, e := range ents {
+		free -= len(e.k) + len(e.v)
+		copy(d[free:], e.k)
+		copy(d[free+len(e.k):], e.v)
+		btSetSlot(d, i, free, len(e.k), len(e.v))
+	}
+	btSetFreeEnd(d, free)
+}
+
+// BTree is a disk-backed B+Tree mapping byte-string keys to values.
+// Keys are unique; callers that need duplicates (secondary indexes)
+// append the TID to the key. Not safe for concurrent use — the engine
+// serializes access with table locks.
+type BTree struct {
+	file  *File
+	root  uint32
+	count int64
+}
+
+// CreateBTree initializes a new B+Tree in an empty file.
+func CreateBTree(file *File) (*BTree, error) {
+	if file.Pages() != 0 {
+		return nil, fmt.Errorf("storage: CreateBTree on non-empty file %s", file.Path())
+	}
+	if _, err := file.Allocate(); err != nil { // meta
+		return nil, err
+	}
+	rootPage, err := file.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	t := &BTree{file: file, root: rootPage}
+	p, err := file.GetPage(rootPage)
+	if err != nil {
+		return nil, err
+	}
+	btSetType(p.Data, btLeaf)
+	btSetFreeEnd(p.Data, PageSize)
+	p.MarkDirty()
+	p.Release()
+	if err := t.writeMeta(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// OpenBTree opens an existing B+Tree.
+func OpenBTree(file *File) (*BTree, error) {
+	p, err := file.GetPage(0)
+	if err != nil {
+		return nil, err
+	}
+	defer p.Release()
+	if binary.LittleEndian.Uint32(p.Data[0:4]) != btMagic {
+		return nil, fmt.Errorf("storage: %s is not a B-Tree file", file.Path())
+	}
+	return &BTree{
+		file:  file,
+		root:  binary.LittleEndian.Uint32(p.Data[4:8]),
+		count: int64(binary.LittleEndian.Uint64(p.Data[8:16])),
+	}, nil
+}
+
+func (t *BTree) writeMeta() error {
+	p, err := t.file.GetPage(0)
+	if err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(p.Data[0:4], btMagic)
+	binary.LittleEndian.PutUint32(p.Data[4:8], t.root)
+	binary.LittleEndian.PutUint64(p.Data[8:16], uint64(t.count))
+	p.MarkDirty()
+	p.Release()
+	return nil
+}
+
+// File returns the underlying page file.
+func (t *BTree) File() *File { return t.file }
+
+// Count returns the number of entries.
+func (t *BTree) Count() int64 { return t.count }
+
+// Height returns the tree height (1 = root is a leaf).
+func (t *BTree) Height() (int, error) {
+	h := 1
+	page := t.root
+	for {
+		p, err := t.file.GetPage(page)
+		if err != nil {
+			return 0, err
+		}
+		if btType(p.Data) == btLeaf {
+			p.Release()
+			return h, nil
+		}
+		page = btNext(p.Data)
+		p.Release()
+		h++
+	}
+}
+
+// Get returns the value stored under key.
+func (t *BTree) Get(key []byte) ([]byte, bool, error) {
+	page := t.root
+	for {
+		p, err := t.file.GetPage(page)
+		if err != nil {
+			return nil, false, err
+		}
+		d := p.Data
+		if btType(d) == btLeaf {
+			i, exact := btSearch(d, key)
+			if !exact {
+				p.Release()
+				return nil, false, nil
+			}
+			out := append([]byte(nil), btVal(d, i)...)
+			p.Release()
+			return out, true, nil
+		}
+		page = btChild(d, key)
+		p.Release()
+	}
+}
+
+// btChild returns the child page to follow for key in an internal node:
+// the child associated with the greatest separator <= key, or the
+// leftmost child if key precedes every separator.
+func btChild(d []byte, key []byte) uint32 {
+	i, exact := btSearch(d, key)
+	if !exact {
+		i--
+	}
+	if i < 0 {
+		return btNext(d)
+	}
+	return binary.LittleEndian.Uint32(btVal(d, i))
+}
+
+type splitResult struct {
+	split   bool
+	sepKey  []byte
+	newPage uint32
+}
+
+// Put inserts or overwrites key with val.
+func (t *BTree) Put(key, val []byte) error {
+	if len(key)+len(val) > MaxEntrySize {
+		return fmt.Errorf("storage: B-Tree entry of %d bytes exceeds max %d", len(key)+len(val), MaxEntrySize)
+	}
+	res, inserted, err := t.put(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if res.split {
+		// Grow a new root.
+		newRoot, err := t.file.Allocate()
+		if err != nil {
+			return err
+		}
+		p, err := t.file.GetPage(newRoot)
+		if err != nil {
+			return err
+		}
+		d := p.Data
+		for i := range d {
+			d[i] = 0
+		}
+		btSetType(d, btInternal)
+		btSetFreeEnd(d, PageSize)
+		btSetNext(d, t.root)
+		var child [4]byte
+		binary.LittleEndian.PutUint32(child[:], res.newPage)
+		btInsertAt(d, 0, res.sepKey, child[:])
+		p.MarkDirty()
+		p.Release()
+		t.root = newRoot
+	}
+	if inserted {
+		t.count++
+	}
+	return t.writeMeta()
+}
+
+func (t *BTree) put(page uint32, key, val []byte) (splitResult, bool, error) {
+	p, err := t.file.GetPage(page)
+	if err != nil {
+		return splitResult{}, false, err
+	}
+	d := p.Data
+	if btType(d) == btLeaf {
+		i, exact := btSearch(d, key)
+		if exact {
+			btRemoveAt(d, i)
+			if !btInsertAt(d, i, key, val) {
+				res, err := t.splitLeaf(p, page, i, key, val)
+				return res, false, err
+			}
+			p.MarkDirty()
+			p.Release()
+			return splitResult{}, false, nil
+		}
+		if btInsertAt(d, i, key, val) {
+			p.MarkDirty()
+			p.Release()
+			return splitResult{}, true, nil
+		}
+		res, err := t.splitLeaf(p, page, i, key, val)
+		return res, true, err
+	}
+
+	childPage := btChild(d, key)
+	p.Release()
+	res, inserted, err := t.put(childPage, key, val)
+	if err != nil || !res.split {
+		return splitResult{}, inserted, err
+	}
+	// Insert the new separator into this internal node.
+	p, err = t.file.GetPage(page)
+	if err != nil {
+		return splitResult{}, inserted, err
+	}
+	d = p.Data
+	i, _ := btSearch(d, res.sepKey)
+	var child [4]byte
+	binary.LittleEndian.PutUint32(child[:], res.newPage)
+	if btInsertAt(d, i, res.sepKey, child[:]) {
+		p.MarkDirty()
+		p.Release()
+		return splitResult{}, inserted, nil
+	}
+	up, err := t.splitInternal(p, page, i, res.sepKey, child[:])
+	return up, inserted, err
+}
+
+// splitLeaf splits the full leaf p, inserting (key, val) at logical
+// index i, and returns the separator for the parent. p is released.
+func (t *BTree) splitLeaf(p *Page, page uint32, i int, key, val []byte) (splitResult, error) {
+	ents := collectEntries(p.Data, i, key, val)
+	next := btNext(p.Data)
+
+	newPage, err := t.file.Allocate()
+	if err != nil {
+		p.Release()
+		return splitResult{}, err
+	}
+	np, err := t.file.GetPage(newPage)
+	if err != nil {
+		p.Release()
+		return splitResult{}, err
+	}
+
+	mid := splitPoint(ents)
+	rebuildNode(p.Data, btLeaf, newPage, ents[:mid])
+	rebuildNode(np.Data, btLeaf, next, ents[mid:])
+	sep := append([]byte(nil), ents[mid].k...)
+
+	p.MarkDirty()
+	np.MarkDirty()
+	p.Release()
+	np.Release()
+	return splitResult{split: true, sepKey: sep, newPage: newPage}, nil
+}
+
+// splitInternal splits the full internal node p, inserting (key, child)
+// at index i. The middle separator moves up. p is released.
+func (t *BTree) splitInternal(p *Page, page uint32, i int, key, child []byte) (splitResult, error) {
+	ents := collectEntries(p.Data, i, key, child)
+	leftmost := btNext(p.Data)
+
+	newPage, err := t.file.Allocate()
+	if err != nil {
+		p.Release()
+		return splitResult{}, err
+	}
+	np, err := t.file.GetPage(newPage)
+	if err != nil {
+		p.Release()
+		return splitResult{}, err
+	}
+
+	mid := splitPoint(ents)
+	if mid == len(ents)-1 {
+		mid-- // the moved-up separator must leave the right side non-empty
+	}
+	if mid < 1 {
+		mid = 1
+	}
+	up := ents[mid]
+	rightLeftmost := binary.LittleEndian.Uint32(up.v)
+	rebuildNode(p.Data, btInternal, leftmost, ents[:mid])
+	rebuildNode(np.Data, btInternal, rightLeftmost, ents[mid+1:])
+	sep := append([]byte(nil), up.k...)
+
+	p.MarkDirty()
+	np.MarkDirty()
+	p.Release()
+	np.Release()
+	return splitResult{split: true, sepKey: sep, newPage: newPage}, nil
+}
+
+type btEnt struct{ k, v []byte }
+
+// collectEntries copies all entries of a node plus the pending (key,
+// val) inserted at index i, in order.
+func collectEntries(d []byte, i int, key, val []byte) []btEnt {
+	n := btCount(d)
+	ents := make([]btEnt, 0, n+1)
+	for j := 0; j < n; j++ {
+		if j == i {
+			ents = append(ents, btEnt{append([]byte(nil), key...), append([]byte(nil), val...)})
+		}
+		ents = append(ents, btEnt{
+			append([]byte(nil), btKey(d, j)...),
+			append([]byte(nil), btVal(d, j)...),
+		})
+	}
+	if i >= n {
+		ents = append(ents, btEnt{append([]byte(nil), key...), append([]byte(nil), val...)})
+	}
+	return ents
+}
+
+// splitPoint chooses the index that balances the byte weight of the two
+// halves.
+func splitPoint(ents []btEnt) int {
+	total := 0
+	for _, e := range ents {
+		total += len(e.k) + len(e.v) + btSlotSize
+	}
+	acc := 0
+	for i, e := range ents {
+		acc += len(e.k) + len(e.v) + btSlotSize
+		if acc >= total/2 {
+			if i+1 >= len(ents) {
+				return len(ents) - 1
+			}
+			return i + 1
+		}
+	}
+	return len(ents) / 2
+}
+
+// rebuildNode rewrites d as a node of the given type containing ents,
+// with the given next pointer.
+func rebuildNode(d []byte, typ byte, next uint32, ents []btEnt) {
+	for i := range d {
+		d[i] = 0
+	}
+	btSetType(d, typ)
+	btSetNext(d, next)
+	btSetFreeEnd(d, PageSize)
+	for i, e := range ents {
+		btInsertAt(d, i, e.k, e.v)
+	}
+}
+
+// Delete removes key if present, reporting whether it was found. Leaves
+// are not rebalanced (lazy deletion, as with heap slots).
+func (t *BTree) Delete(key []byte) (bool, error) {
+	page := t.root
+	for {
+		p, err := t.file.GetPage(page)
+		if err != nil {
+			return false, err
+		}
+		d := p.Data
+		if btType(d) == btLeaf {
+			i, exact := btSearch(d, key)
+			if !exact {
+				p.Release()
+				return false, nil
+			}
+			btRemoveAt(d, i)
+			p.MarkDirty()
+			p.Release()
+			t.count--
+			return true, t.writeMeta()
+		}
+		page = btChild(d, key)
+		p.Release()
+	}
+}
+
+// Iterator walks leaf entries in key order.
+type Iterator struct {
+	t    *BTree
+	page uint32
+	idx  int
+	key  []byte
+	val  []byte
+	err  error
+	done bool
+}
+
+// Seek positions an iterator at the first entry with key >= start (or
+// the first entry overall if start is nil).
+func (t *BTree) Seek(start []byte) *Iterator {
+	it := &Iterator{t: t}
+	page := t.root
+	for {
+		p, err := t.file.GetPage(page)
+		if err != nil {
+			it.err = err
+			it.done = true
+			return it
+		}
+		d := p.Data
+		if btType(d) == btLeaf {
+			i, _ := btSearch(d, start)
+			it.page, it.idx = page, i
+			p.Release()
+			return it
+		}
+		if start == nil {
+			page = btNext(d)
+		} else {
+			page = btChild(d, start)
+		}
+		p.Release()
+	}
+}
+
+// Next advances the iterator, reporting whether an entry is available
+// via Key/Value.
+func (it *Iterator) Next() bool {
+	if it.done {
+		return false
+	}
+	for {
+		p, err := it.t.file.GetPage(it.page)
+		if err != nil {
+			it.err = err
+			it.done = true
+			return false
+		}
+		d := p.Data
+		if it.idx < btCount(d) {
+			it.key = append(it.key[:0], btKey(d, it.idx)...)
+			it.val = append(it.val[:0], btVal(d, it.idx)...)
+			it.idx++
+			p.Release()
+			return true
+		}
+		next := btNext(d)
+		p.Release()
+		if next == 0 {
+			it.done = true
+			return false
+		}
+		it.page, it.idx = next, 0
+	}
+}
+
+// Key returns the current entry's key. Valid until the next call to
+// Next.
+func (it *Iterator) Key() []byte { return it.key }
+
+// Value returns the current entry's value. Valid until the next call to
+// Next.
+func (it *Iterator) Value() []byte { return it.val }
+
+// Err returns the first error the iterator encountered.
+func (it *Iterator) Err() error { return it.err }

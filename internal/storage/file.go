@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+var nextFileID atomic.Uint32
+
+// File is a page-addressed file managed through a buffer pool. All page
+// access goes through Read/Write page handles so that every physical
+// I/O is counted — the optimizer's cost model and the monitor both feed
+// on these counters.
+type File struct {
+	id   uint32
+	path string
+	pool *Pool
+
+	mu    sync.Mutex
+	f     *os.File
+	pages uint32 // number of allocated pages
+}
+
+// OpenFile opens (or creates) the page file at path, attached to pool.
+func OpenFile(path string, pool *Pool) (*File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s has non-page-aligned size %d", path, st.Size())
+	}
+	return &File{
+		id:    nextFileID.Add(1),
+		path:  path,
+		pool:  pool,
+		f:     f,
+		pages: uint32(st.Size() / PageSize),
+	}, nil
+}
+
+// Path returns the file's path on disk.
+func (f *File) Path() string { return f.path }
+
+// Pages returns the number of allocated pages.
+func (f *File) Pages() uint32 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pages
+}
+
+// SizeBytes returns the logical file size in bytes.
+func (f *File) SizeBytes() int64 { return int64(f.Pages()) * PageSize }
+
+// Allocate extends the file by one zero page and returns its number.
+// The page is materialized lazily: it hits disk when flushed.
+func (f *File) Allocate() (uint32, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	page := f.pages
+	f.pages++
+	return page, nil
+}
+
+// readPage reads the given page into buf. Pages past the current end of
+// the on-disk file read as zeroes with n == 0 (they exist only in the
+// pool until flushed).
+func (f *File) readPage(page uint32, buf []byte) (int, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if page >= f.pages {
+		return 0, fmt.Errorf("storage: read past end: page %d of %d in %s", page, f.pages, f.path)
+	}
+	n, err := f.f.ReadAt(buf, int64(page)*PageSize)
+	if err == io.EOF || (err == nil && n < PageSize) {
+		// Allocated but never flushed: serve zeroes.
+		for i := n; i < PageSize; i++ {
+			buf[i] = 0
+		}
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("storage: read page %d of %s: %w", page, f.path, err)
+	}
+	return n, nil
+}
+
+// writePage writes buf to the given page on disk.
+func (f *File) writePage(page uint32, buf []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, err := f.f.WriteAt(buf, int64(page)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d of %s: %w", page, f.path, err)
+	}
+	return nil
+}
+
+// Flush writes back all dirty cached pages of this file.
+func (f *File) Flush() error { return f.pool.flushFile(f) }
+
+// Sync flushes dirty pages and fsyncs the file.
+func (f *File) Sync() error {
+	if err := f.Flush(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.f.Sync()
+}
+
+// Close flushes and closes the file.
+func (f *File) Close() error {
+	if err := f.Flush(); err != nil {
+		return err
+	}
+	f.pool.dropFile(f)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.f.Close()
+}
+
+// Remove closes the file, discards its cached pages and deletes it from
+// disk. Used by DROP TABLE / DROP INDEX and MODIFY rebuilds.
+func (f *File) Remove() error {
+	f.pool.dropFile(f)
+	f.mu.Lock()
+	ff := f.f
+	path := f.path
+	f.pages = 0
+	f.mu.Unlock()
+	if err := ff.Close(); err != nil {
+		return err
+	}
+	return os.Remove(path)
+}
+
+// Page is a pinned page handle. Data is valid until Release.
+type Page struct {
+	f     *File
+	fr    *frame
+	Data  []byte
+	dirty bool
+}
+
+// GetPage pins the given page for reading or writing.
+func (f *File) GetPage(page uint32) (*Page, error) {
+	fr, err := f.pool.get(f, page)
+	if err != nil {
+		return nil, err
+	}
+	return &Page{f: f, fr: fr, Data: fr.data[:]}, nil
+}
+
+// MarkDirty records that the caller modified the page.
+func (p *Page) MarkDirty() { p.dirty = true }
+
+// Release unpins the page.
+func (p *Page) Release() {
+	if p.fr == nil {
+		return
+	}
+	p.f.pool.unpin(p.fr, p.dirty)
+	p.fr = nil
+	p.Data = nil
+}

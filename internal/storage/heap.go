@@ -1,0 +1,328 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TID identifies a record: page number in the high 32 bits, slot in the
+// low 16. This mirrors the Ingres tuple identifier that secondary
+// indexes store next to the key.
+type TID uint64
+
+// NewTID packs a page/slot pair.
+func NewTID(page uint32, slot uint16) TID {
+	return TID(uint64(page)<<16 | uint64(slot))
+}
+
+// Page returns the page component.
+func (t TID) Page() uint32 { return uint32(t >> 16) }
+
+// Slot returns the slot component.
+func (t TID) Slot() uint16 { return uint16(t) }
+
+// String renders the TID as "page.slot".
+func (t TID) String() string { return fmt.Sprintf("%d.%d", t.Page(), t.Slot()) }
+
+// Slotted page layout (heap data pages):
+//
+//	[0:2)  uint16 slot count
+//	[2:4)  uint16 free-space end (records grow down from PageSize)
+//	[4:..) slot directory: per slot uint16 offset, uint16 length
+//
+// A slot with offset 0xFFFF is dead (deleted).
+const (
+	heapHeaderSize = 4
+	slotSize       = 4
+	deadSlot       = 0xFFFF
+)
+
+func pageSlotCount(d []byte) int   { return int(binary.LittleEndian.Uint16(d[0:2])) }
+func pageFreeEnd(d []byte) int     { return int(binary.LittleEndian.Uint16(d[2:4])) }
+func setSlotCount(d []byte, n int) { binary.LittleEndian.PutUint16(d[0:2], uint16(n)) }
+func setFreeEnd(d []byte, n int)   { binary.LittleEndian.PutUint16(d[2:4], uint16(n)) }
+
+func slotEntry(d []byte, i int) (off, length int) {
+	base := heapHeaderSize + i*slotSize
+	return int(binary.LittleEndian.Uint16(d[base : base+2])),
+		int(binary.LittleEndian.Uint16(d[base+2 : base+4]))
+}
+
+func setSlotEntry(d []byte, i, off, length int) {
+	base := heapHeaderSize + i*slotSize
+	binary.LittleEndian.PutUint16(d[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(d[base+2:base+4], uint16(length))
+}
+
+func pageFreeSpace(d []byte) int {
+	free := pageFreeEnd(d)
+	if free == 0 {
+		free = PageSize // fresh zero page
+	}
+	used := heapHeaderSize + pageSlotCount(d)*slotSize
+	return free - used
+}
+
+// MaxRecordSize is the largest record a heap page (or B-Tree entry) can
+// hold. Records above this are rejected at insert time.
+const MaxRecordSize = PageSize - heapHeaderSize - slotSize - 64
+
+// Heap is an unordered record file: the Ingres HEAP storage structure.
+// Pages allocated before FinishLoad (or up to MainPages at creation)
+// are "main" pages; growth beyond that is counted as overflow pages,
+// which is exactly the signal the analyzer's restructuring rule uses.
+type Heap struct {
+	file      *File
+	mainPages uint32 // pages considered part of the initial extent
+	rows      int64
+	lastPage  uint32 // insertion hint
+}
+
+// OpenHeap opens a heap over the given file. mainPages is the size of
+// the initial extent for overflow accounting; rows is the persisted row
+// count (the catalog stores both).
+func OpenHeap(file *File, mainPages uint32, rows int64) *Heap {
+	if mainPages == 0 {
+		mainPages = 1
+	}
+	h := &Heap{file: file, mainPages: mainPages, rows: rows}
+	if n := file.Pages(); n > 0 {
+		h.lastPage = n - 1
+	}
+	return h
+}
+
+// File returns the underlying page file.
+func (h *Heap) File() *File { return h.file }
+
+// Rows returns the live record count.
+func (h *Heap) Rows() int64 { return h.rows }
+
+// Pages returns the total number of data pages.
+func (h *Heap) Pages() uint32 { return h.file.Pages() }
+
+// MainPages returns the size of the initial extent.
+func (h *Heap) MainPages() uint32 { return h.mainPages }
+
+// OverflowPages returns the number of pages beyond the initial extent.
+func (h *Heap) OverflowPages() uint32 {
+	total := h.file.Pages()
+	if total <= h.mainPages {
+		return 0
+	}
+	return total - h.mainPages
+}
+
+// SetMainPages resets the initial extent, e.g. after a MODIFY rebuild
+// where every page becomes a main page again.
+func (h *Heap) SetMainPages(n uint32) {
+	if n == 0 {
+		n = 1
+	}
+	h.mainPages = n
+}
+
+// Insert appends a record and returns its TID.
+func (h *Heap) Insert(rec []byte) (TID, error) {
+	if len(rec) > MaxRecordSize {
+		return 0, fmt.Errorf("storage: record of %d bytes exceeds max %d", len(rec), MaxRecordSize)
+	}
+	need := len(rec) + slotSize
+	for {
+		if h.file.Pages() == 0 {
+			if _, err := h.file.Allocate(); err != nil {
+				return 0, err
+			}
+			h.lastPage = 0
+		}
+		p, err := h.file.GetPage(h.lastPage)
+		if err != nil {
+			return 0, err
+		}
+		if pageFreeSpace(p.Data) >= need {
+			tid := insertIntoPage(p, h.lastPage, rec)
+			p.Release()
+			h.rows++
+			return tid, nil
+		}
+		p.Release()
+		page, err := h.file.Allocate()
+		if err != nil {
+			return 0, err
+		}
+		h.lastPage = page
+	}
+}
+
+func insertIntoPage(p *Page, pageNo uint32, rec []byte) TID {
+	d := p.Data
+	n := pageSlotCount(d)
+	free := pageFreeEnd(d)
+	if free == 0 {
+		free = PageSize
+	}
+	off := free - len(rec)
+	copy(d[off:], rec)
+	setSlotEntry(d, n, off, len(rec))
+	setSlotCount(d, n+1)
+	setFreeEnd(d, off)
+	p.MarkDirty()
+	return NewTID(pageNo, uint16(n))
+}
+
+// Get returns the record stored at tid, or ok=false if it was deleted.
+func (h *Heap) Get(tid TID) (rec []byte, ok bool, err error) {
+	if tid.Page() >= h.file.Pages() {
+		return nil, false, fmt.Errorf("storage: TID %s past end of heap", tid)
+	}
+	p, err := h.file.GetPage(tid.Page())
+	if err != nil {
+		return nil, false, err
+	}
+	defer p.Release()
+	if int(tid.Slot()) >= pageSlotCount(p.Data) {
+		return nil, false, fmt.Errorf("storage: TID %s slot out of range", tid)
+	}
+	off, length := slotEntry(p.Data, int(tid.Slot()))
+	if off == deadSlot {
+		return nil, false, nil
+	}
+	out := make([]byte, length)
+	copy(out, p.Data[off:off+length])
+	return out, true, nil
+}
+
+// Delete removes the record at tid. Space is not reclaimed until the
+// table is rebuilt (MODIFY), matching Ingres heap behaviour.
+func (h *Heap) Delete(tid TID) error {
+	p, err := h.file.GetPage(tid.Page())
+	if err != nil {
+		return err
+	}
+	defer p.Release()
+	if int(tid.Slot()) >= pageSlotCount(p.Data) {
+		return fmt.Errorf("storage: delete %s: slot out of range", tid)
+	}
+	off, length := slotEntry(p.Data, int(tid.Slot()))
+	if off == deadSlot {
+		return nil
+	}
+	setSlotEntry(p.Data, int(tid.Slot()), deadSlot, length)
+	p.MarkDirty()
+	h.rows--
+	return nil
+}
+
+// Update replaces the record at tid. If the new record fits in place it
+// is updated there and the same TID is returned; otherwise the old slot
+// is killed and the record reinserted, returning its new TID.
+func (h *Heap) Update(tid TID, rec []byte) (TID, error) {
+	p, err := h.file.GetPage(tid.Page())
+	if err != nil {
+		return 0, err
+	}
+	off, length := slotEntry(p.Data, int(tid.Slot()))
+	if off != deadSlot && len(rec) <= length {
+		copy(p.Data[off:off+len(rec)], rec)
+		setSlotEntry(p.Data, int(tid.Slot()), off, len(rec))
+		p.MarkDirty()
+		p.Release()
+		return tid, nil
+	}
+	if off != deadSlot {
+		setSlotEntry(p.Data, int(tid.Slot()), deadSlot, length)
+		p.MarkDirty()
+	}
+	p.Release()
+	h.rows-- // Insert re-increments
+	return h.Insert(rec)
+}
+
+// Scan calls fn for every live record in physical order. Returning
+// false from fn stops the scan early.
+func (h *Heap) Scan(fn func(tid TID, rec []byte) (bool, error)) error {
+	pages := h.file.Pages()
+	for pg := uint32(0); pg < pages; pg++ {
+		p, err := h.file.GetPage(pg)
+		if err != nil {
+			return err
+		}
+		n := pageSlotCount(p.Data)
+		for s := 0; s < n; s++ {
+			off, length := slotEntry(p.Data, s)
+			if off == deadSlot {
+				continue
+			}
+			cont, err := fn(NewTID(pg, uint16(s)), p.Data[off:off+length])
+			if err != nil || !cont {
+				p.Release()
+				return err
+			}
+		}
+		p.Release()
+	}
+	return nil
+}
+
+// Truncate drops every record, resetting the heap to a single empty
+// main page extent.
+func (h *Heap) Truncate() error {
+	path := h.file.Path()
+	pool := h.file.pool
+	if err := h.file.Remove(); err != nil {
+		return err
+	}
+	nf, err := OpenFile(path, pool)
+	if err != nil {
+		return err
+	}
+	h.file = nf
+	h.rows = 0
+	h.lastPage = 0
+	h.mainPages = 1
+	return nil
+}
+
+// HeapIter is a pull-style iterator over live heap records.
+type HeapIter struct {
+	h    *Heap
+	page uint32
+	slot int
+	err  error
+}
+
+// Iter returns an iterator positioned before the first record.
+func (h *Heap) Iter() *HeapIter { return &HeapIter{h: h} }
+
+// Next returns the next live record (copied out of the page) or
+// ok=false at the end.
+func (it *HeapIter) Next() (TID, []byte, bool, error) {
+	if it.err != nil {
+		return 0, nil, false, it.err
+	}
+	pages := it.h.file.Pages()
+	for it.page < pages {
+		p, err := it.h.file.GetPage(it.page)
+		if err != nil {
+			it.err = err
+			return 0, nil, false, err
+		}
+		n := pageSlotCount(p.Data)
+		for it.slot < n {
+			s := it.slot
+			it.slot++
+			off, length := slotEntry(p.Data, s)
+			if off == deadSlot {
+				continue
+			}
+			rec := make([]byte, length)
+			copy(rec, p.Data[off:off+length])
+			p.Release()
+			return NewTID(it.page, uint16(s)), rec, true, nil
+		}
+		p.Release()
+		it.page++
+		it.slot = 0
+	}
+	return 0, nil, false, nil
+}

@@ -1,0 +1,265 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func newTestFile(t *testing.T, pool *Pool) *File {
+	t.Helper()
+	if pool == nil {
+		pool = NewPool(64)
+	}
+	f, err := OpenFile(filepath.Join(t.TempDir(), "test.dat"), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestTIDPacking(t *testing.T) {
+	tid := NewTID(123456, 789)
+	if tid.Page() != 123456 || tid.Slot() != 789 {
+		t.Fatalf("TID round trip broken: %v", tid)
+	}
+	if tid.String() != "123456.789" {
+		t.Errorf("String = %q", tid.String())
+	}
+}
+
+func TestHeapInsertGetScan(t *testing.T) {
+	h := OpenHeap(newTestFile(t, nil), 1, 0)
+	var tids []TID
+	for i := 0; i < 500; i++ {
+		rec := []byte(fmt.Sprintf("record-%04d-%s", i, bytes.Repeat([]byte("x"), i%50)))
+		tid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids = append(tids, tid)
+	}
+	if h.Rows() != 500 {
+		t.Fatalf("Rows = %d", h.Rows())
+	}
+	for i, tid := range tids {
+		rec, ok, err := h.Get(tid)
+		if err != nil || !ok {
+			t.Fatalf("Get(%v): ok=%v err=%v", tid, ok, err)
+		}
+		if !bytes.HasPrefix(rec, []byte(fmt.Sprintf("record-%04d", i))) {
+			t.Fatalf("Get(%v) returned wrong record %q", tid, rec)
+		}
+	}
+	seen := 0
+	if err := h.Scan(func(tid TID, rec []byte) (bool, error) {
+		seen++
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 500 {
+		t.Fatalf("Scan visited %d records", seen)
+	}
+}
+
+func TestHeapDeleteAndUpdate(t *testing.T) {
+	h := OpenHeap(newTestFile(t, nil), 1, 0)
+	t1, _ := h.Insert([]byte("alpha"))
+	t2, _ := h.Insert([]byte("beta"))
+	if err := h.Delete(t1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := h.Get(t1); ok {
+		t.Error("deleted record still visible")
+	}
+	if h.Rows() != 1 {
+		t.Errorf("Rows = %d after delete", h.Rows())
+	}
+	// Idempotent delete.
+	if err := h.Delete(t1); err != nil {
+		t.Fatal(err)
+	}
+	if h.Rows() != 1 {
+		t.Errorf("double delete changed row count: %d", h.Rows())
+	}
+
+	// In-place update (same size).
+	nt, err := h.Update(t2, []byte("BETA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nt != t2 {
+		t.Errorf("same-size update moved the record: %v -> %v", t2, nt)
+	}
+	rec, ok, _ := h.Get(nt)
+	if !ok || string(rec) != "BETA" {
+		t.Errorf("update lost data: %q ok=%v", rec, ok)
+	}
+
+	// Growing update must relocate.
+	big := bytes.Repeat([]byte("z"), 300)
+	nt2, err := h.Update(nt, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok, _ = h.Get(nt2)
+	if !ok || !bytes.Equal(rec, big) {
+		t.Error("growing update lost data")
+	}
+	if h.Rows() != 1 {
+		t.Errorf("Rows = %d after update", h.Rows())
+	}
+}
+
+func TestHeapOverflowAccounting(t *testing.T) {
+	h := OpenHeap(newTestFile(t, nil), 2, 0)
+	rec := bytes.Repeat([]byte("r"), 400)
+	for i := 0; i < 200; i++ {
+		if _, err := h.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Pages() <= 2 {
+		t.Fatalf("expected growth beyond main pages, got %d pages", h.Pages())
+	}
+	if h.OverflowPages() != h.Pages()-2 {
+		t.Errorf("OverflowPages = %d, want %d", h.OverflowPages(), h.Pages()-2)
+	}
+	h.SetMainPages(h.Pages())
+	if h.OverflowPages() != 0 {
+		t.Errorf("after SetMainPages, overflow = %d", h.OverflowPages())
+	}
+}
+
+func TestHeapRejectsHugeRecord(t *testing.T) {
+	h := OpenHeap(newTestFile(t, nil), 1, 0)
+	if _, err := h.Insert(bytes.Repeat([]byte("x"), PageSize)); err == nil {
+		t.Fatal("expected error for oversized record")
+	}
+}
+
+func TestHeapPersistence(t *testing.T) {
+	dir := t.TempDir()
+	pool := NewPool(16)
+	path := filepath.Join(dir, "h.dat")
+
+	f, err := OpenFile(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := OpenHeap(f, 1, 0)
+	var tids []TID
+	for i := 0; i < 300; i++ {
+		tid, err := h.Insert([]byte(fmt.Sprintf("row-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids = append(tids, tid)
+	}
+	rows := h.Rows()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := OpenFile(path, NewPool(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	h2 := OpenHeap(f2, 1, rows)
+	for i, tid := range tids {
+		rec, ok, err := h2.Get(tid)
+		if err != nil || !ok || string(rec) != fmt.Sprintf("row-%d", i) {
+			t.Fatalf("after reopen, Get(%v) = %q ok=%v err=%v", tid, rec, ok, err)
+		}
+	}
+}
+
+func TestHeapTruncate(t *testing.T) {
+	pool := NewPool(16)
+	f, err := OpenFile(filepath.Join(t.TempDir(), "h.dat"), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := OpenHeap(f, 1, 0)
+	for i := 0; i < 100; i++ {
+		if _, err := h.Insert(bytes.Repeat([]byte("a"), 200)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.File().Close()
+	if h.Rows() != 0 || h.Pages() != 0 {
+		t.Fatalf("after truncate: rows=%d pages=%d", h.Rows(), h.Pages())
+	}
+	if _, err := h.Insert([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	h.Scan(func(TID, []byte) (bool, error) { count++; return true, nil })
+	if count != 1 {
+		t.Fatalf("scan after truncate found %d rows", count)
+	}
+}
+
+func TestHeapRandomizedAgainstModel(t *testing.T) {
+	h := OpenHeap(newTestFile(t, nil), 1, 0)
+	model := map[TID][]byte{}
+	r := rand.New(rand.NewSource(42))
+	var live []TID
+	for op := 0; op < 3000; op++ {
+		switch {
+		case len(live) == 0 || r.Intn(3) > 0:
+			rec := make([]byte, 1+r.Intn(200))
+			r.Read(rec)
+			tid, err := h.Insert(rec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model[tid] = append([]byte(nil), rec...)
+			live = append(live, tid)
+		default:
+			i := r.Intn(len(live))
+			tid := live[i]
+			if r.Intn(2) == 0 {
+				if err := h.Delete(tid); err != nil {
+					t.Fatal(err)
+				}
+				delete(model, tid)
+				live = append(live[:i], live[i+1:]...)
+			} else {
+				rec := make([]byte, 1+r.Intn(300))
+				r.Read(rec)
+				nt, err := h.Update(tid, rec)
+				if err != nil {
+					t.Fatal(err)
+				}
+				delete(model, tid)
+				model[nt] = append([]byte(nil), rec...)
+				live[i] = nt
+			}
+		}
+	}
+	if int(h.Rows()) != len(model) {
+		t.Fatalf("row count drift: heap=%d model=%d", h.Rows(), len(model))
+	}
+	got := map[TID][]byte{}
+	h.Scan(func(tid TID, rec []byte) (bool, error) {
+		got[tid] = append([]byte(nil), rec...)
+		return true, nil
+	})
+	if len(got) != len(model) {
+		t.Fatalf("scan count %d != model %d", len(got), len(model))
+	}
+	for tid, want := range model {
+		if !bytes.Equal(got[tid], want) {
+			t.Fatalf("TID %v: scan %x, model %x", tid, got[tid], want)
+		}
+	}
+}

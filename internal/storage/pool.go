@@ -1,0 +1,204 @@
+// Package storage implements the paged storage substrate of the engine:
+// a shared buffer pool over page files, slotted heap files with Ingres
+// style main/overflow page accounting, and a disk-backed B+Tree used for
+// the BTREE storage structure and for secondary indexes.
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// PageSize is the size of every on-disk page in bytes.
+const PageSize = 4096
+
+// PoolStats exposes buffer pool counters. All fields are cumulative.
+type PoolStats struct {
+	Hits      int64 // page requests served from memory
+	Misses    int64 // page requests that required a disk read
+	DiskReads int64 // physical page reads
+	DiskWrite int64 // physical page writes
+	Evictions int64 // frames evicted to make room
+}
+
+type pageKey struct {
+	file uint32
+	page uint32
+}
+
+type frame struct {
+	key   pageKey
+	file  *File
+	data  [PageSize]byte
+	dirty bool
+	pins  int32
+	lru   *list.Element
+}
+
+// Pool is a shared LRU buffer pool. A single pool serves every file of a
+// database so that cache pressure is global, as in a real DBMS.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[pageKey]*frame
+	lru      *list.List // front = most recently used
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	diskReads atomic.Int64
+	diskWrite atomic.Int64
+	evictions atomic.Int64
+}
+
+// NewPool creates a buffer pool holding up to capacity pages. Capacity
+// below 8 is raised to 8.
+func NewPool(capacity int) *Pool {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &Pool{
+		capacity: capacity,
+		frames:   make(map[pageKey]*frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Hits:      p.hits.Load(),
+		Misses:    p.misses.Load(),
+		DiskReads: p.diskReads.Load(),
+		DiskWrite: p.diskWrite.Load(),
+		Evictions: p.evictions.Load(),
+	}
+}
+
+// Capacity returns the configured frame capacity.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// Resident returns the number of pages currently cached.
+func (p *Pool) Resident() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// get pins the frame for (f, page), reading it from disk on a miss.
+// Callers must call p.unpin when done. If the page lies past the end of
+// the file it is served as a zero page (the file grows on flush).
+func (p *Pool) get(f *File, page uint32) (*frame, error) {
+	key := pageKey{file: f.id, page: page}
+	p.mu.Lock()
+	if fr, ok := p.frames[key]; ok {
+		fr.pins++
+		p.lru.MoveToFront(fr.lru)
+		p.mu.Unlock()
+		p.hits.Add(1)
+		return fr, nil
+	}
+	// Miss: make room while holding the lock, then read.
+	if err := p.evictLocked(); err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	fr := &frame{key: key, file: f, pins: 1}
+	fr.lru = p.lru.PushFront(fr)
+	p.frames[key] = fr
+	p.mu.Unlock()
+
+	p.misses.Add(1)
+	n, err := f.readPage(page, fr.data[:])
+	if err != nil {
+		p.mu.Lock()
+		p.lru.Remove(fr.lru)
+		delete(p.frames, key)
+		p.mu.Unlock()
+		return nil, err
+	}
+	if n > 0 {
+		p.diskReads.Add(1)
+	}
+	return fr, nil
+}
+
+// evictLocked makes room for one more frame. p.mu must be held.
+func (p *Pool) evictLocked() error {
+	for len(p.frames) >= p.capacity {
+		var victim *frame
+		for e := p.lru.Back(); e != nil; e = e.Prev() {
+			fr := e.Value.(*frame)
+			if fr.pins == 0 {
+				victim = fr
+				break
+			}
+		}
+		if victim == nil {
+			return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", p.capacity)
+		}
+		if victim.dirty {
+			// Writing back outside the lock would be nicer; eviction is
+			// rare at our scale and correctness is simpler this way.
+			if err := victim.file.writePage(victim.key.page, victim.data[:]); err != nil {
+				return err
+			}
+			p.diskWrite.Add(1)
+		}
+		p.lru.Remove(victim.lru)
+		delete(p.frames, victim.key)
+		p.evictions.Add(1)
+	}
+	return nil
+}
+
+// unpin releases a pinned frame, marking it dirty if it was modified.
+func (p *Pool) unpin(fr *frame, dirty bool) {
+	p.mu.Lock()
+	fr.pins--
+	if dirty {
+		fr.dirty = true
+	}
+	p.mu.Unlock()
+}
+
+// flushFile writes back every dirty frame belonging to f.
+func (p *Pool) flushFile(f *File) error {
+	p.mu.Lock()
+	var dirty []*frame
+	for key, fr := range p.frames {
+		if key.file == f.id && fr.dirty {
+			dirty = append(dirty, fr)
+		}
+	}
+	p.mu.Unlock()
+	for _, fr := range dirty {
+		p.mu.Lock()
+		if !fr.dirty {
+			p.mu.Unlock()
+			continue
+		}
+		data := fr.data
+		fr.dirty = false
+		p.mu.Unlock()
+		if err := f.writePage(fr.key.page, data[:]); err != nil {
+			return err
+		}
+		p.diskWrite.Add(1)
+	}
+	return nil
+}
+
+// dropFile discards every cached frame of f without writing it back.
+// Used when a file is truncated or deleted.
+func (p *Pool) dropFile(f *File) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for key, fr := range p.frames {
+		if key.file == f.id {
+			p.lru.Remove(fr.lru)
+			delete(p.frames, key)
+		}
+	}
+}

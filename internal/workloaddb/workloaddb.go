@@ -1,0 +1,105 @@
+// Package workloaddb defines the persistent workload database: a
+// native database (in the same engine) holding timestamped copies of
+// the IMA tables, appended by the storage daemon. Because it is an
+// ordinary database, "handling the collected data is most simple and
+// can be done with standard SQL" — the analyzer and the alerting rules
+// run plain queries against it.
+package workloaddb
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Table names in the workload database. Every table carries a ts_us
+// column: the poll timestamp in unix microseconds, enabling the trend
+// analysis the paper collects data for.
+const (
+	Statements = "ws_statements"
+	Workload   = "ws_workload"
+	References = "ws_references"
+	Tables     = "ws_tables"
+	Attributes = "ws_attributes"
+	Indexes    = "ws_indexes"
+	Statistics = "ws_statistics"
+)
+
+// schemaDDL creates the workload tables.
+var schemaDDL = []string{
+	`CREATE TABLE IF NOT EXISTS ` + Statements + ` (
+		ts_us BIGINT, hash BIGINT, query_text VARCHAR(512), kind VARCHAR(32),
+		frequency BIGINT, first_seen_us BIGINT, last_seen_us BIGINT)`,
+	`CREATE TABLE IF NOT EXISTS ` + Workload + ` (
+		ts_us BIGINT, hash BIGINT, start_us BIGINT, wall_us BIGINT, opt_us BIGINT,
+		exec_cpu BIGINT, exec_io BIGINT, est_cpu FLOAT, est_io FLOAT, est_rows FLOAT,
+		rows BIGINT, mon_ns BIGINT, error BIGINT)`,
+	`CREATE TABLE IF NOT EXISTS ` + References + ` (
+		ts_us BIGINT, hash BIGINT, obj_type VARCHAR(16), obj_name VARCHAR(128),
+		table_name VARCHAR(64))`,
+	`CREATE TABLE IF NOT EXISTS ` + Tables + ` (
+		ts_us BIGINT, table_name VARCHAR(64), frequency BIGINT, structure VARCHAR(16),
+		data_pages BIGINT, overflow_pages BIGINT, row_count BIGINT)`,
+	`CREATE TABLE IF NOT EXISTS ` + Attributes + ` (
+		ts_us BIGINT, attr_name VARCHAR(128), table_name VARCHAR(64),
+		frequency BIGINT, has_histogram BIGINT)`,
+	`CREATE TABLE IF NOT EXISTS ` + Indexes + ` (
+		ts_us BIGINT, index_name VARCHAR(64), table_name VARCHAR(64),
+		frequency BIGINT, is_virtual BIGINT)`,
+	`CREATE TABLE IF NOT EXISTS ` + Statistics + ` (
+		ts_us BIGINT, current_sessions BIGINT, peak_sessions BIGINT, statements BIGINT,
+		locks_held BIGINT, lock_waits BIGINT, deadlocks BIGINT, cache_hits BIGINT,
+		cache_misses BIGINT, disk_reads BIGINT, disk_writes BIGINT, db_bytes BIGINT)`,
+}
+
+// AllTables lists every workload table, for pruning and reporting.
+var AllTables = []string{Statements, Workload, References, Tables, Attributes, Indexes, Statistics}
+
+// EnsureSchema creates the workload tables if they do not exist.
+func EnsureSchema(db *engine.DB) error {
+	s := db.NewSession()
+	defer s.Close()
+	for _, ddl := range schemaDDL {
+		if _, err := s.Exec(ddl); err != nil {
+			return fmt.Errorf("workloaddb: %w", err)
+		}
+	}
+	return nil
+}
+
+// Prune deletes rows older than the retention window from every table.
+// It returns the number of rows removed.
+func Prune(db *engine.DB, retention time.Duration, now time.Time) (int64, error) {
+	cutoff := now.Add(-retention).UnixMicro()
+	s := db.NewSession()
+	defer s.Close()
+	var removed int64
+	for _, t := range AllTables {
+		res, err := s.Exec(fmt.Sprintf("DELETE FROM %s WHERE ts_us < %d", t, cutoff))
+		if err != nil {
+			return removed, fmt.Errorf("workloaddb: prune %s: %w", t, err)
+		}
+		removed += res.RowsAffected
+	}
+	return removed, nil
+}
+
+// GrowthModel captures the paper's §V-A capacity computation: at a
+// given statement logging rate the workload DB grows linearly and is
+// capped by the retention window.
+type GrowthModel struct {
+	StatementsPerSecond float64
+	BytesPerWorkloadRow float64
+	Retention           time.Duration
+}
+
+// BytesPerHour returns the modelled growth rate.
+func (g GrowthModel) BytesPerHour() float64 {
+	return g.StatementsPerSecond * g.BytesPerWorkloadRow * 3600
+}
+
+// CapBytes returns the steady-state size after retention pruning.
+func (g GrowthModel) CapBytes() float64 {
+	return g.BytesPerHour() * g.Retention.Hours()
+}

@@ -1,0 +1,79 @@
+package workloaddb
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func openDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db, err := engine.Open(engine.Config{Dir: t.TempDir(), PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestEnsureSchemaIdempotent(t *testing.T) {
+	db := openDB(t)
+	if err := EnsureSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := EnsureSchema(db); err != nil {
+		t.Fatalf("second EnsureSchema: %v", err)
+	}
+	s := db.NewSession()
+	defer s.Close()
+	for _, tbl := range AllTables {
+		if _, err := s.Exec("SELECT COUNT(*) FROM " + tbl); err != nil {
+			t.Errorf("table %s: %v", tbl, err)
+		}
+	}
+}
+
+func TestPrune(t *testing.T) {
+	db := openDB(t)
+	if err := EnsureSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	now := time.Now()
+	old := now.Add(-48 * time.Hour).UnixMicro()
+	fresh := now.Add(-time.Hour).UnixMicro()
+	for _, ts := range []int64{old, fresh} {
+		if _, err := s.Exec(fmt.Sprintf(
+			"INSERT INTO %s VALUES (%d, 1, 1, 1, 1, 1, 1, 1.0, 1.0, 1.0, 1, 1, 0)",
+			Workload, ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	removed, err := Prune(db, 24*time.Hour, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Errorf("removed = %d, want 1", removed)
+	}
+	s2 := db.NewSession()
+	defer s2.Close()
+	res, _ := s2.Exec("SELECT COUNT(*) FROM " + Workload)
+	if res.Rows[0][0].I != 1 {
+		t.Errorf("surviving rows = %v", res.Rows[0][0])
+	}
+}
+
+func TestGrowthModelMath(t *testing.T) {
+	g := GrowthModel{StatementsPerSecond: 10, BytesPerWorkloadRow: 100, Retention: 10 * time.Hour}
+	if got := g.BytesPerHour(); got != 10*100*3600 {
+		t.Errorf("BytesPerHour = %v", got)
+	}
+	if got := g.CapBytes(); got != 10*100*3600*10 {
+		t.Errorf("CapBytes = %v", got)
+	}
+}
