@@ -12,7 +12,9 @@ package repro_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -254,6 +256,67 @@ func BenchmarkMonitorCall(b *testing.B) {
 		h.Optimized(10, 5, 1, attrs, idx, 0)
 		h.Finish(12, 0, 1, nil)
 	}
+}
+
+// BenchmarkMonitorCallParallel{1,4,16} run the §V-A sensor-call
+// microbenchmark from concurrent goroutines (the paper's 1M-row point
+// select shape, every session issuing the same statement). The sharded
+// hot path keeps ns/op flat as goroutines scale, where the seed's
+// single global mutex degraded; EXPERIMENTS.md records before/after
+// numbers.
+func BenchmarkMonitorCallParallel1(b *testing.B)  { benchMonitorCallParallel(b, 1) }
+func BenchmarkMonitorCallParallel4(b *testing.B)  { benchMonitorCallParallel(b, 4) }
+func BenchmarkMonitorCallParallel16(b *testing.B) { benchMonitorCallParallel(b, 16) }
+
+func benchMonitorCallParallel(b *testing.B, goroutines int) {
+	prev := runtime.GOMAXPROCS(goroutines)
+	defer runtime.GOMAXPROCS(prev)
+	m := monitor.New(monitor.Config{})
+	tables := []string{"protein"}
+	attrs := []string{"protein.nref_id"}
+	idx := []string{"pk_protein"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	// RunParallel spawns GOMAXPROCS goroutines.
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h := m.StartStatement("SELECT p.nref_id FROM protein p WHERE p.nref_id = 'NF00000001'")
+			h.Parsed("SELECT", tables)
+			h.Optimized(10, 5, 1, attrs, idx, 0)
+			h.Finish(12, 0, 1, nil)
+		}
+	})
+}
+
+// BenchmarkMonitorChurnParallel{1,16} stress the opposite regime:
+// every call is a distinct statement against a full table, so each
+// sensor commit also evicts the globally oldest statement (the
+// worst case for cross-shard coordination).
+func BenchmarkMonitorChurnParallel1(b *testing.B)  { benchMonitorChurnParallel(b, 1) }
+func BenchmarkMonitorChurnParallel16(b *testing.B) { benchMonitorChurnParallel(b, 16) }
+
+func benchMonitorChurnParallel(b *testing.B, goroutines int) {
+	prev := runtime.GOMAXPROCS(goroutines)
+	defer runtime.GOMAXPROCS(prev)
+	m := monitor.New(monitor.Config{})
+	texts := make([]string, 4096)
+	for i := range texts {
+		texts[i] = nref.PointSelectStatement(i, 1<<20)
+	}
+	tables := []string{"protein"}
+	attrs := []string{"protein.nref_id"}
+	idx := []string{"pk_protein"}
+	var ctr atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			h := m.StartStatement(texts[ctr.Add(1)&4095])
+			h.Parsed("SELECT", tables)
+			h.Optimized(10, 5, 1, attrs, idx, 0)
+			h.Finish(12, 0, 1, nil)
+		}
+	})
 }
 
 func BenchmarkBTreePut(b *testing.B) {

@@ -186,10 +186,12 @@ func (d *Daemon) Poll() error {
 		return err
 	}
 
-	// 2. Snapshot-style tables via the monitor snapshot and catalog.
-	// Statement rows are appended only when they changed since the
-	// previous poll ("the newest data").
-	snap := d.cfg.Mon.Snapshot()
+	// 2. Snapshot-style tables via the monitor's statement-side
+	// snapshot (one consistent cut of statements, references and
+	// frequencies; the workload was already drained above) and the
+	// catalog. Statement rows are appended only when they changed since
+	// the previous poll ("the newest data").
+	snap := d.cfg.Mon.SnapshotStatementSide()
 	d.mu.Lock()
 	since := d.prevPoll
 	d.prevPoll = now

@@ -136,7 +136,7 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	var res *Result
 	switch st := stmt.(type) {
 	case *sqlparser.SelectStmt:
-		res, err = s.execSelect(st, parsed, h)
+		res, err = s.execSelect(st, parsed, &h)
 	case *sqlparser.ExplainStmt:
 		res, err = s.execExplain(st, parsed)
 	case *sqlparser.CreateTableStmt:
@@ -152,11 +152,11 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	case *sqlparser.CreateStatisticsStmt:
 		res, err = db.execCreateStatistics(st)
 	case *sqlparser.InsertStmt:
-		res, err = db.execInsert(st, parsed.Params, h)
+		res, err = db.execInsert(st, parsed.Params, &h)
 	case *sqlparser.UpdateStmt:
-		res, err = db.execUpdate(st, parsed.Params, h)
+		res, err = db.execUpdate(st, parsed.Params, &h)
 	case *sqlparser.DeleteStmt:
-		res, err = db.execDelete(st, parsed.Params, h)
+		res, err = db.execDelete(st, parsed.Params, &h)
 	default:
 		err = fmt.Errorf("engine: unsupported statement %T", stmt)
 	}

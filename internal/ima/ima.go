@@ -46,9 +46,9 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 				sqltypes.Column{Name: "last_seen_us", Type: sqltypes.Int},
 			),
 			provider: func() []sqltypes.Row {
-				snap := mon.Snapshot()
-				rows := make([]sqltypes.Row, 0, len(snap.Statements))
-				for _, s := range snap.Statements {
+				stmts := mon.SnapshotStatements()
+				rows := make([]sqltypes.Row, 0, len(stmts))
+				for _, s := range stmts {
 					rows = append(rows, sqltypes.Row{
 						sqltypes.NewInt(int64(s.Hash)),
 						sqltypes.NewText(truncate(s.Text, engine.MaxTextBytes)),
@@ -78,9 +78,9 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 				sqltypes.Column{Name: "error", Type: sqltypes.Int},
 			),
 			provider: func() []sqltypes.Row {
-				snap := mon.Snapshot()
-				rows := make([]sqltypes.Row, 0, len(snap.Workload))
-				for _, w := range snap.Workload {
+				work := mon.SnapshotWorkload()
+				rows := make([]sqltypes.Row, 0, len(work))
+				for _, w := range work {
 					rows = append(rows, workloadRow(w))
 				}
 				return rows
@@ -95,9 +95,9 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 				sqltypes.Column{Name: "table_name", Type: sqltypes.Text},
 			),
 			provider: func() []sqltypes.Row {
-				snap := mon.Snapshot()
-				rows := make([]sqltypes.Row, 0, len(snap.References))
-				for _, r := range snap.References {
+				refs := mon.SnapshotReferences()
+				rows := make([]sqltypes.Row, 0, len(refs))
+				for _, r := range refs {
 					rows = append(rows, sqltypes.Row{
 						sqltypes.NewInt(int64(r.Hash)),
 						sqltypes.NewText(r.Type.String()),
@@ -119,13 +119,13 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 				sqltypes.Column{Name: "row_count", Type: sqltypes.Int},
 			),
 			provider: func() []sqltypes.Row {
-				snap := mon.Snapshot()
+				tableFreq, _, _ := mon.SnapshotFrequencies()
 				var rows []sqltypes.Row
 				for _, t := range db.Catalog().Tables() {
 					ts := db.TableState(t.Name)
 					rows = append(rows, sqltypes.Row{
 						sqltypes.NewText(strings.ToLower(t.Name)),
-						sqltypes.NewInt(snap.TableFreq[strings.ToLower(t.Name)]),
+						sqltypes.NewInt(tableFreq[strings.ToLower(t.Name)]),
 						sqltypes.NewText(string(t.Structure)),
 						sqltypes.NewInt(int64(ts.Pages)),
 						sqltypes.NewInt(int64(ts.OverflowPages)),
@@ -144,7 +144,7 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 				sqltypes.Column{Name: "has_histogram", Type: sqltypes.Int},
 			),
 			provider: func() []sqltypes.Row {
-				snap := mon.Snapshot()
+				_, attrFreq, _ := mon.SnapshotFrequencies()
 				var rows []sqltypes.Row
 				for _, t := range db.Catalog().Tables() {
 					tn := strings.ToLower(t.Name)
@@ -157,7 +157,7 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 						rows = append(rows, sqltypes.Row{
 							sqltypes.NewText(attr),
 							sqltypes.NewText(tn),
-							sqltypes.NewInt(snap.AttrFreq[attr]),
+							sqltypes.NewInt(attrFreq[attr]),
 							sqltypes.NewInt(hasHist),
 						})
 					}
@@ -174,18 +174,18 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 				sqltypes.Column{Name: "is_virtual", Type: sqltypes.Int},
 			),
 			provider: func() []sqltypes.Row {
-				snap := mon.Snapshot()
+				_, _, indexFreq := mon.SnapshotFrequencies()
 				var rows []sqltypes.Row
 				for _, ix := range db.Catalog().Indexes() {
 					rows = append(rows, sqltypes.Row{
 						sqltypes.NewText(strings.ToLower(ix.Name)),
 						sqltypes.NewText(strings.ToLower(ix.Table)),
-						sqltypes.NewInt(snap.IndexFreq[strings.ToLower(ix.Name)]),
+						sqltypes.NewInt(indexFreq[strings.ToLower(ix.Name)]),
 						sqltypes.NewBool(ix.Virtual),
 					})
 				}
 				// Primary structures show up under "<table>.primary".
-				for name, freq := range snap.IndexFreq {
+				for name, freq := range indexFreq {
 					if strings.HasSuffix(name, ".primary") {
 						rows = append(rows, sqltypes.Row{
 							sqltypes.NewText(name),

@@ -9,11 +9,13 @@
 // Every sensor measures its own execution time so that the share of
 // monitoring in total statement time (the paper's Figure 5) can be
 // reproduced exactly.
+//
+// The hot path is sharded (see shard.go): sensor commits from
+// concurrent sessions take one shard lock each, so monitoring overhead
+// stays sensor-bound rather than contention-bound as sessions scale.
 package monitor
 
 import (
-	"hash/fnv"
-	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -60,6 +62,8 @@ type StatementInfo struct {
 	Frequency int64
 	FirstSeen time.Time
 	LastSeen  time.Time
+
+	seq uint64 // global insertion order, for the cross-shard merge
 }
 
 // WorkloadEntry is one row of the workload ring: a single execution of
@@ -92,6 +96,11 @@ type Config struct {
 	StatementCapacity int
 	WorkloadCapacity  int
 	ReferenceCapacity int
+	// Shards is the number of ways the hot path is split (rounded up
+	// to a power of two, capped at 64). Zero derives it from
+	// GOMAXPROCS. The shard count never changes observable semantics,
+	// only contention.
+	Shards int
 }
 
 // Monitor is the in-core monitoring component. A disabled monitor adds
@@ -100,33 +109,23 @@ type Config struct {
 type Monitor struct {
 	enabled atomic.Bool
 
-	mu sync.Mutex
+	// Statement table, reference ring and frequency maps, sharded by
+	// statement hash.
+	shards    []stmtShard
+	shardMask uint64
+	stmtCap   int          // global distinct-statement capacity
+	liveStmts atomic.Int64 // distinct statements across shards, ≤ stmtCap
+	evict     evictFIFO    // statement insertions in global order
 
-	stmtCap  int
-	stmts    map[uint64]*StatementInfo
-	stmtFIFO []uint64 // insertion order for eviction
-	stmtHead int      // next eviction position
+	// Workload ring, sharded round-robin by execution sequence so the
+	// union of shard rings is exactly the newest workCap entries.
+	workShards []workShard
+	workMask   uint64
+	workCap    int // total capacity across shards
+	workSeq    atomic.Uint64
+	liveWork   atomic.Int64 // entries currently buffered, ≤ workCap
 
-	workCap  int
-	workload []WorkloadEntry // ring
-	workPos  int
-	workLen  int
-
-	refCap   int
-	refs     []Reference // ring
-	refPos   int
-	refLen   int
-	seenRefs map[uint64]bool // statements whose references are recorded
-
-	tableFreq map[string]int64
-	attrFreq  map[string]int64
-	indexFreq map[string]int64
-
-	// totals are cumulative counters that survive ring wraparound.
-	totalStatements atomic.Int64
-	totalMonNanos   atomic.Int64
-
-	// fullHandler, when set, is invoked (outside the monitor lock)
+	// fullHandler, when set, is invoked (outside any monitor lock)
 	// once when the workload ring crosses ~90% of its capacity, and is
 	// re-armed by DrainWorkload. This is the paper's §IV-B extension:
 	// writing to the workload DB "only when the main memory buffers
@@ -147,17 +146,40 @@ func New(cfg Config) *Monitor {
 	if cfg.ReferenceCapacity <= 0 {
 		cfg.ReferenceCapacity = cfg.StatementCapacity * 8
 	}
+	nShards := cfg.Shards
+	if nShards <= 0 {
+		nShards = defaultShards()
+	}
+	nShards = ceilPow2(nShards)
+	if nShards > maxShards {
+		nShards = maxShards
+	}
+	// The workload shard count must divide the capacity so the union
+	// of per-shard rings holds exactly the newest WorkloadCapacity
+	// entries (odd capacities degrade to a single shard).
+	nWork := largestPow2Dividing(cfg.WorkloadCapacity)
+	if nWork > nShards {
+		nWork = nShards
+	}
+	perWork := cfg.WorkloadCapacity / nWork
+	// References round up to a whole ring per shard.
+	perRef := (cfg.ReferenceCapacity + nShards - 1) / nShards
+
 	m := &Monitor{
-		stmtCap:   cfg.StatementCapacity,
-		stmts:     make(map[uint64]*StatementInfo, cfg.StatementCapacity),
-		workCap:   cfg.WorkloadCapacity,
-		workload:  make([]WorkloadEntry, cfg.WorkloadCapacity),
-		refCap:    cfg.ReferenceCapacity,
-		refs:      make([]Reference, cfg.ReferenceCapacity),
-		seenRefs:  map[uint64]bool{},
-		tableFreq: map[string]int64{},
-		attrFreq:  map[string]int64{},
-		indexFreq: map[string]int64{},
+		shards:     make([]stmtShard, nShards),
+		shardMask:  uint64(nShards - 1),
+		stmtCap:    cfg.StatementCapacity,
+		workShards: make([]workShard, nWork),
+		workMask:   uint64(nWork - 1),
+		workCap:    perWork * nWork,
+	}
+	m.evict.init(cfg.StatementCapacity)
+	for i := range m.shards {
+		m.shards[i].init(perRef)
+	}
+	for i := range m.workShards {
+		m.workShards[i].ring = make([]WorkloadEntry, perWork)
+		m.workShards[i].seqs = make([]uint64, perWork)
 	}
 	m.enabled.Store(true)
 	return m
@@ -169,17 +191,20 @@ func (m *Monitor) SetEnabled(v bool) { m.enabled.Store(v) }
 // Enabled reports whether sensors are active.
 func (m *Monitor) Enabled() bool { return m.enabled.Load() }
 
-// Handle accumulates sensor data for one executing statement. All of
-// its methods are nil-safe: a disabled monitor hands out nil handles
-// and the statement path pays only for the nil checks.
+// ShardCount reports how many ways the statement-side hot path is
+// split (the workload ring may use fewer shards; see New).
+func (m *Monitor) ShardCount() int { return len(m.shards) }
+
+// Handle accumulates sensor data for one executing statement. It is
+// returned by value so the hot path allocates nothing; the zero Handle
+// (and a nil *Handle) is inert, which is how a disabled monitor keeps
+// the statement path down to a couple of nil checks. A handle is
+// single-use: Finish commits it and further calls are no-ops.
 type Handle struct {
 	m     *Monitor
-	hash  uint64
 	text  string
 	kind  string
 	start time.Time
-
-	mon int64 // nanoseconds spent in sensors
 
 	tables  []string
 	attrs   []string // "table.column"
@@ -192,24 +217,30 @@ type Handle struct {
 }
 
 // HashStatement returns the FNV-64a hash the monitor keys statements
-// by.
+// by. The loop is written out (rather than using hash/fnv) so the hot
+// path pays no interface dispatch and no string→[]byte copy.
 func HashStatement(text string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(text))
-	return h.Sum64()
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(text); i++ {
+		h ^= uint64(text[i])
+		h *= prime64
+	}
+	return h
 }
 
 // StartStatement begins monitoring one statement execution. It is the
-// "Wallclock Start" sensor at the query interface.
-func (m *Monitor) StartStatement(text string) *Handle {
+// "Wallclock Start" sensor at the query interface. The returned handle
+// is a value — callers keep it on their stack, so starting a statement
+// costs one clock read and a struct fill, with no allocation. Hashing
+// of the statement text is deferred to Finish, where it is covered by
+// the self-measurement that feeds the paper's Figure 5.
+func (m *Monitor) StartStatement(text string) Handle {
 	if m == nil || !m.enabled.Load() {
-		return nil
+		return Handle{}
 	}
-	t0 := time.Now()
-	h := &Handle{m: m, text: text, start: t0}
-	h.hash = HashStatement(text)
-	h.mon += int64(time.Since(t0))
-	return h
+	return Handle{m: m, text: text, start: time.Now()}
 }
 
 // Parsed is the parser sensor: statement kind and referenced tables,
@@ -240,15 +271,22 @@ func (h *Handle) Optimized(estCPU, estIO, estRows float64, attrs, indexes []stri
 }
 
 // Finish is the "Wallclock Stop" sensor: it commits the collected data
-// into the ring buffers under one short critical section.
+// into the ring buffers under two short, sharded critical sections
+// (statement table, then workload ring). Finish is idempotent — the
+// first call commits, later calls on the same handle are no-ops — so
+// error paths that stop the wallclock early cannot double-count an
+// execution.
 func (h *Handle) Finish(execCPU, execIO, rows int64, execErr error) {
-	if h == nil {
+	if h == nil || h.m == nil {
 		return
 	}
 	t0 := time.Now()
 	m := h.m
+	h.m = nil
+	hash := HashStatement(h.text)
+
 	entry := WorkloadEntry{
-		Hash:    h.hash,
+		Hash:    hash,
 		Start:   h.start,
 		OptTime: h.optTime,
 		ExecCPU: execCPU,
@@ -260,62 +298,138 @@ func (h *Handle) Finish(execCPU, execIO, rows int64, execErr error) {
 		Err:     execErr != nil,
 	}
 
-	m.mu.Lock()
-	// Statement ring.
-	si := m.stmts[h.hash]
-	isNew := si == nil
-	if isNew {
-		si = &StatementInfo{Hash: h.hash, Text: h.text, Kind: h.kind, FirstSeen: h.start}
-		if len(m.stmts) >= m.stmtCap {
-			m.evictOldestLocked()
+	// Statement table, references and object frequencies: one shard,
+	// selected by statement hash.
+	sh := &m.shards[hash&m.shardMask]
+	sh.mu.Lock()
+	si := sh.stmts[hash]
+	if si == nil {
+		// New statement: acquire one slot of the global capacity.
+		// While capacity remains, a CAS reservation succeeds without
+		// dropping the shard lock. When the table is full, the slot
+		// comes from evicting the globally oldest statement, which
+		// lives in some other shard — drop this shard's lock for the
+		// eviction (at most one shard lock is ever held), then
+		// re-check for a racing insert.
+		reserved := false
+		for {
+			n := m.liveStmts.Load()
+			if n >= int64(m.stmtCap) {
+				break
+			}
+			if m.liveStmts.CompareAndSwap(n, n+1) {
+				reserved = true
+				break
+			}
 		}
-		m.stmts[h.hash] = si
-		m.stmtFIFO = append(m.stmtFIFO, h.hash)
+		if !reserved {
+			// Evicting inline keeps this shard's lock held: the victim
+			// usually lives in another shard, taken with TryLock, which
+			// never blocks and therefore cannot deadlock regardless of
+			// lock order.
+			if victimHash, ok := m.evict.claimOldest(); ok {
+				victim := &m.shards[victimHash&m.shardMask]
+				if victim == sh {
+					sh.removeLocked(victimHash)
+				} else if victim.mu.TryLock() {
+					victim.removeLocked(victimHash)
+					victim.mu.Unlock()
+				} else {
+					// Victim shard busy: finish the claimed eviction
+					// the blocking way, which requires dropping this
+					// shard's lock first (at most one blocking shard
+					// lock is ever held), then re-checking for a
+					// racing insert.
+					sh.mu.Unlock()
+					victim.mu.Lock()
+					victim.removeLocked(victimHash)
+					victim.mu.Unlock()
+					sh.mu.Lock()
+					si = sh.stmts[hash]
+				}
+			} else {
+				// Table full but nothing published to evict yet: the
+				// capacity is held by in-flight inserts. Take the
+				// general retry path without this shard's lock.
+				sh.mu.Unlock()
+				m.acquireStmtSlot()
+				sh.mu.Lock()
+				si = sh.stmts[hash]
+			}
+		}
+		if si == nil {
+			si = sh.newStmtLocked()
+			*si = StatementInfo{Hash: hash, Text: h.text, Kind: h.kind, FirstSeen: h.start}
+			si.seq = m.evict.publish(hash)
+			sh.stmts[hash] = si
+
+			// References: recorded once per insertion, in the same
+			// critical section, so their merge order is derived from
+			// the statement's insertion sequence — no extra global
+			// counter on the hot path.
+			seq := si.seq << 16
+			for _, t := range h.tables {
+				sh.addRefLocked(Reference{Hash: hash, Type: ObjTable, Name: t, Table: t}, seq)
+				seq++
+			}
+			for _, a := range h.attrs {
+				sh.addRefLocked(Reference{Hash: hash, Type: ObjAttribute, Name: a, Table: tablePart(a)}, seq)
+				seq++
+			}
+			for _, ix := range h.indexes {
+				sh.addRefLocked(Reference{Hash: hash, Type: ObjIndex, Name: ix}, seq)
+				seq++
+			}
+		} else {
+			// Lost the insert race. The acquired slot is surplus either
+			// way: a reservation is returned, an evicted slot means the
+			// table shrank by one — the live count drops by one in both
+			// cases.
+			m.liveStmts.Add(-1)
+		}
 	}
 	si.Frequency++
 	si.LastSeen = h.start
 
-	// References: recorded once per statement hash.
-	if isNew || !m.seenRefs[h.hash] {
-		m.seenRefs[h.hash] = true
-		for _, t := range h.tables {
-			m.addRefLocked(Reference{Hash: h.hash, Type: ObjTable, Name: t, Table: t})
-		}
-		for _, a := range h.attrs {
-			m.addRefLocked(Reference{Hash: h.hash, Type: ObjAttribute, Name: a, Table: tablePart(a)})
-		}
-		for _, ix := range h.indexes {
-			m.addRefLocked(Reference{Hash: h.hash, Type: ObjIndex, Name: ix})
-		}
-	}
-
-	// Object frequencies.
+	// Object frequencies (merged by summing across shards at snapshot).
 	for _, t := range h.tables {
-		m.tableFreq[t]++
+		sh.tableFreq[t]++
 	}
 	for _, a := range h.attrs {
-		m.attrFreq[a]++
+		sh.attrFreq[a]++
 	}
 	for _, ix := range h.indexes {
-		m.indexFreq[ix]++
+		sh.indexFreq[ix]++
 	}
+	sh.mu.Unlock()
 
-	// Workload ring. Monitor time includes this commit, estimated from
-	// the sensors so far plus the elapsed time in Finish.
-	entry.MonNanos = h.mon + int64(time.Since(t0))
-	entry.Wall = time.Since(h.start)
-	m.workload[m.workPos] = entry
-	m.workPos = (m.workPos + 1) % m.workCap
-	if m.workLen < m.workCap {
-		m.workLen++
+	// Workload ring: round-robin shard by execution sequence, so load
+	// spreads evenly even when every session runs the same statement.
+	// Monitor time includes this commit, estimated from the sensors so
+	// far plus the elapsed time in Finish. One clock read serves both
+	// durations.
+	now := time.Now()
+	entry.MonNanos = int64(now.Sub(t0))
+	entry.Wall = now.Sub(h.start)
+	wseq := m.workSeq.Add(1)
+	ws := &m.workShards[wseq&m.workMask]
+	ws.mu.Lock()
+	var live int64
+	if ws.n < len(ws.ring) {
+		ws.n++
+		live = m.liveWork.Add(1)
+	} else {
+		live = int64(m.workCap) // overwrote this shard's oldest entry
 	}
-	nearFull := m.workLen*10 >= m.workCap*9
-	m.mu.Unlock()
+	ws.ring[ws.pos] = entry
+	ws.seqs[ws.pos] = wseq
+	ws.pos = (ws.pos + 1) % len(ws.ring)
+	ws.stmtTotal++
+	ws.monNanosTotal += entry.MonNanos
+	ws.mu.Unlock()
 
-	m.totalStatements.Add(1)
-	m.totalMonNanos.Add(entry.MonNanos)
-
-	if nearFull && m.fullFired.CompareAndSwap(false, true) {
+	if live*10 >= int64(m.workCap)*9 && !m.fullFired.Load() &&
+		m.fullFired.CompareAndSwap(false, true) {
 		if fn, ok := m.fullHandler.Load().(func()); ok && fn != nil {
 			fn()
 		}
@@ -337,121 +451,37 @@ func tablePart(attr string) string {
 	return ""
 }
 
-// evictOldestLocked drops the oldest statement and its references.
-func (m *Monitor) evictOldestLocked() {
-	for m.stmtHead < len(m.stmtFIFO) {
-		hash := m.stmtFIFO[m.stmtHead]
-		m.stmtHead++
-		if _, ok := m.stmts[hash]; ok {
-			delete(m.stmts, hash)
-			delete(m.seenRefs, hash)
-			break
-		}
-	}
-	// Compact the FIFO slice occasionally.
-	if m.stmtHead > m.stmtCap {
-		m.stmtFIFO = append([]uint64(nil), m.stmtFIFO[m.stmtHead:]...)
-		m.stmtHead = 0
-	}
-}
-
-func (m *Monitor) addRefLocked(r Reference) {
-	m.refs[m.refPos] = r
-	m.refPos = (m.refPos + 1) % m.refCap
-	if m.refLen < m.refCap {
-		m.refLen++
-	}
-}
-
-// Snapshot is a consistent copy of all ring buffers, taken by the IMA
-// layer and the storage daemon.
-type Snapshot struct {
-	Taken      time.Time
-	Statements []StatementInfo
-	Workload   []WorkloadEntry
-	References []Reference
-	TableFreq  map[string]int64
-	AttrFreq   map[string]int64
-	IndexFreq  map[string]int64
-}
-
-// Snapshot copies the current monitor state. Workload entries are
-// returned oldest first.
-func (m *Monitor) Snapshot() Snapshot {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := Snapshot{
-		Taken:     time.Now(),
-		TableFreq: make(map[string]int64, len(m.tableFreq)),
-		AttrFreq:  make(map[string]int64, len(m.attrFreq)),
-		IndexFreq: make(map[string]int64, len(m.indexFreq)),
-	}
-	for h := m.stmtHead; h < len(m.stmtFIFO); h++ {
-		if si, ok := m.stmts[m.stmtFIFO[h]]; ok {
-			s.Statements = append(s.Statements, *si)
-		}
-	}
-	s.Workload = make([]WorkloadEntry, 0, m.workLen)
-	start := m.workPos - m.workLen
-	if start < 0 {
-		start += m.workCap
-	}
-	for i := 0; i < m.workLen; i++ {
-		s.Workload = append(s.Workload, m.workload[(start+i)%m.workCap])
-	}
-	s.References = make([]Reference, 0, m.refLen)
-	rstart := m.refPos - m.refLen
-	if rstart < 0 {
-		rstart += m.refCap
-	}
-	for i := 0; i < m.refLen; i++ {
-		s.References = append(s.References, m.refs[(rstart+i)%m.refCap])
-	}
-	for k, v := range m.tableFreq {
-		s.TableFreq[k] = v
-	}
-	for k, v := range m.attrFreq {
-		s.AttrFreq[k] = v
-	}
-	for k, v := range m.indexFreq {
-		s.IndexFreq[k] = v
-	}
-	return s
-}
-
-// DrainWorkload returns and clears the workload ring. The daemon uses
-// it so that each poll sees every execution exactly once even when the
-// poll interval is long.
-func (m *Monitor) DrainWorkload() []WorkloadEntry {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]WorkloadEntry, 0, m.workLen)
-	start := m.workPos - m.workLen
-	if start < 0 {
-		start += m.workCap
-	}
-	for i := 0; i < m.workLen; i++ {
-		out = append(out, m.workload[(start+i)%m.workCap])
-	}
-	m.workLen = 0
-	m.workPos = 0
-	m.fullFired.Store(false)
-	return out
-}
-
 // TotalStatements returns the cumulative number of monitored
 // executions, unaffected by ring wraparound.
-func (m *Monitor) TotalStatements() int64 { return m.totalStatements.Load() }
+func (m *Monitor) TotalStatements() int64 {
+	m.lockWorkShards()
+	defer m.unlockWorkShards()
+	var n int64
+	for i := range m.workShards {
+		n += m.workShards[i].stmtTotal
+	}
+	return n
+}
 
 // TotalMonitorTime returns the cumulative time spent inside sensors.
 func (m *Monitor) TotalMonitorTime() time.Duration {
-	return time.Duration(m.totalMonNanos.Load())
+	m.lockWorkShards()
+	defer m.unlockWorkShards()
+	var n int64
+	for i := range m.workShards {
+		n += m.workShards[i].monNanosTotal
+	}
+	return time.Duration(n)
 }
 
 // StatementCount returns the number of distinct statements currently in
 // the ring.
 func (m *Monitor) StatementCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.stmts)
+	m.lockStmtShards()
+	defer m.unlockStmtShards()
+	n := 0
+	for i := range m.shards {
+		n += len(m.shards[i].stmts)
+	}
+	return n
 }

@@ -79,6 +79,109 @@ func min(a, b int) int {
 	return b
 }
 
+// TestQuickEvictionMatchesSingleRingModel checks, for random streams,
+// capacities and shard counts, that the sharded statement table is
+// observably identical to the seed's single ring: the survivors are
+// exactly the model's (overwrite-oldest FIFO over distinct statements)
+// and the snapshot returns them in insertion order. This pins down the
+// tentpole requirement that sharding must not change eviction
+// semantics, whichever shard each statement hashes to.
+func TestQuickEvictionMatchesSingleRingModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		stmtCap := 1 + r.Intn(24)
+		shards := 1 << r.Intn(4) // 1..8 ways
+		m := New(Config{StatementCapacity: stmtCap, Shards: shards})
+
+		var model []string // distinct statements, oldest first
+		inModel := map[string]bool{}
+		total := 1 + r.Intn(400)
+		pool := 1 + r.Intn(50)
+		for i := 0; i < total; i++ {
+			text := fmt.Sprintf("SELECT %d", r.Intn(pool))
+			h := m.StartStatement(text)
+			h.Parsed("SELECT", []string{"t"})
+			h.Finish(1, 0, 1, nil)
+			if !inModel[text] {
+				if len(model) == stmtCap {
+					evicted := model[0]
+					model = model[1:]
+					delete(inModel, evicted)
+				}
+				model = append(model, text)
+				inModel[text] = true
+			}
+		}
+
+		snap := m.SnapshotStatements()
+		if len(snap) != len(model) {
+			return false
+		}
+		for i, si := range snap {
+			if si.Text != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWorkloadDrainRoundTrip checks, for random capacities (odd
+// and even), shard counts and random interleavings of commits and
+// drains, that the sequence-ordered merge of the per-shard workload
+// rings round-trips against a single-ring model: each drain returns
+// exactly the newest min(outstanding, capacity) entries, oldest first,
+// and clears them.
+func TestQuickWorkloadDrainRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		workCap := 1 + r.Intn(40)
+		shards := 1 << r.Intn(4)
+		m := New(Config{StatementCapacity: 16, WorkloadCapacity: workCap, Shards: shards})
+
+		var model []int64 // Rows values of buffered entries, oldest first
+		ops := 1 + r.Intn(500)
+		for op := 0; op < ops; op++ {
+			if r.Intn(10) == 0 {
+				got := m.DrainWorkload()
+				if len(got) != len(model) {
+					return false
+				}
+				for i, e := range got {
+					if e.Rows != model[i] {
+						return false
+					}
+				}
+				model = model[:0]
+				continue
+			}
+			h := m.StartStatement(fmt.Sprintf("SELECT %d", op%8))
+			h.Parsed("SELECT", []string{"t"})
+			h.Finish(1, 0, int64(op), nil) // Rows carries the op index
+			model = append(model, int64(op))
+			if len(model) > workCap {
+				model = model[len(model)-workCap:]
+			}
+		}
+		got := m.DrainWorkload()
+		if len(got) != len(model) {
+			return false
+		}
+		for i, e := range got {
+			if e.Rows != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestSnapshotIsConsistentUnderLoad takes snapshots while writers run
 // and checks each snapshot is internally consistent (run with -race to
 // catch synchronization bugs).
