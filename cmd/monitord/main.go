@@ -48,6 +48,12 @@ func main() {
 		DaemonInterval: *interval,
 		Retention:      *retention,
 		Alerts:         alerts,
+		// Transient poll failures and broken alert rules are logged and
+		// survived, not fatal: the daemon retries with backoff and
+		// requeues drained entries until the workload DB recovers.
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "monitord:", err)
@@ -63,6 +69,10 @@ func main() {
 		os.Exit(1)
 	}
 	st := sys.Daemon.Stats()
-	fmt.Printf("monitord: %d polls, %d rows appended, %d pruned, %d alerts\n",
-		st.Polls, st.RowsAppended, st.RowsPruned, st.AlertsFired)
+	fmt.Printf("monitord: %d polls (%d errors, %d retries), %d rows appended, %d pruned, %d alerts (%d alert errors)\n",
+		st.Polls, st.PollErrors, st.Retries, st.RowsAppended, st.RowsPruned, st.AlertsFired, st.AlertErrors)
+	if st.CarryoverDepth > 0 || st.CarryoverDrops > 0 {
+		fmt.Printf("monitord: %d drained entries still unflushed, %d dropped at the carryover cap\n",
+			st.CarryoverDepth, st.CarryoverDrops)
+	}
 }

@@ -44,7 +44,18 @@ func main() {
 				Threshold: 0,
 				Action:    notify,
 			},
+			{
+				// A deliberately broken rule: the daemon isolates it —
+				// the failure is logged and counted in AlertErrors, the
+				// other alerts and the poll itself keep running.
+				Name:      "broken-rule",
+				Query:     "SELECT no_such_column FROM nowhere",
+				Op:        ">",
+				Threshold: 0,
+				Action:    notify,
+			},
 		},
+		Logf: log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -102,5 +113,6 @@ func main() {
 	fmt.Printf("\nfinal lock statistics: %d grants, %d waits, %d deadlocks\n",
 		ls.Grants, ls.Waits, ls.Deadlocks)
 	st := sys.Daemon.Stats()
-	fmt.Printf("daemon: %d polls, %d alerts fired\n", st.Polls, st.AlertsFired)
+	fmt.Printf("daemon: %d polls, %d alerts fired, %d alert errors (broken rule isolated, polling survived)\n",
+		st.Polls, st.AlertsFired, st.AlertErrors)
 }

@@ -54,6 +54,9 @@ type Options struct {
 	// the monitor's workload ring nears capacity (the in-core
 	// collection trigger of §IV-B) instead of waiting for the tick.
 	FlushOnFull bool
+	// Logf receives daemon diagnostics: transient poll failures, retry
+	// scheduling, alert errors. nil discards them.
+	Logf func(format string, args ...any)
 }
 
 // System is the integrated monitored DBMS.
@@ -107,6 +110,7 @@ func Open(opts Options) (*System, error) {
 		Retention:   opts.Retention,
 		Alerts:      opts.Alerts,
 		FlushOnFull: opts.FlushOnFull,
+		Logf:        opts.Logf,
 	})
 	if err != nil {
 		db.Close()

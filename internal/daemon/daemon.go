@@ -8,10 +8,32 @@
 // The daemon also implements the paper's active alerting: after each
 // poll it evaluates user-defined threshold rules (plain SQL against
 // the workload DB or the live IMA tables) and notifies the DBA.
+//
+// # Failure model
+//
+// The daemon must run unattended for the full retention window, so the
+// collection pipeline is fault-tolerant end to end:
+//
+//   - Errors are classified transient or fatal. Everything the target
+//     database can produce at runtime is treated as transient; only
+//     errors wrapped with Fatal (or context cancellation) terminate
+//     Run. Transient poll failures are retried with capped exponential
+//     backoff instead of killing the loop.
+//   - Workload entries drained from the monitor are never discarded on
+//     an insert failure: the un-persisted suffix is requeued on a
+//     bounded in-memory carryover buffer and flushed first on the next
+//     attempt, so each drained execution lands exactly once. When the
+//     carryover is full the daemon stops draining and lets the monitor
+//     ring wrap (bounded, counted loss) instead of growing an
+//     unbounded queue.
+//   - Alert evaluation is isolated: one bad alert query or operator is
+//     logged and counted (AlertErrors) without aborting the poll or
+//     starving the remaining alerts.
 package daemon
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -33,6 +55,43 @@ const DefaultInterval = 30 * time.Second
 
 // DefaultRetention keeps "the workload of a typical work week".
 const DefaultRetention = 7 * 24 * time.Hour
+
+// Defaults for the fault-tolerance knobs.
+const (
+	// DefaultRetryBase is the first retry delay after a transient poll
+	// failure; each consecutive failure doubles it up to RetryMax.
+	DefaultRetryBase = 250 * time.Millisecond
+	// DefaultRetryMax caps the exponential backoff.
+	DefaultRetryMax = 30 * time.Second
+	// DefaultCarryoverCap bounds the in-memory requeue buffer for
+	// drained-but-unpersisted workload entries.
+	DefaultCarryoverCap = 65536
+	// DefaultRefCacheCap bounds the reference dedup set.
+	DefaultRefCacheCap = 100000
+)
+
+// FatalError wraps an error that must terminate Run. Everything else
+// is transient: Run logs it, backs off and retries.
+type FatalError struct{ Err error }
+
+func (e *FatalError) Error() string { return "daemon: fatal: " + e.Err.Error() }
+func (e *FatalError) Unwrap() error { return e.Err }
+
+// Fatal marks err as fatal to the daemon loop.
+func Fatal(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &FatalError{Err: err}
+}
+
+// IsFatal reports whether err (anywhere in its tree) demands that the
+// daemon loop stop: an explicit FatalError or a context cancellation.
+func IsFatal(err error) bool {
+	var fe *FatalError
+	return errors.As(err, &fe) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Alert is a threshold rule evaluated after every poll. Query must
 // return at least one row; its first column is compared against
@@ -72,6 +131,20 @@ type Config struct {
 	// Run loop polls immediately instead of letting the ring wrap —
 	// the in-core collection trigger the paper sketches in §IV-B.
 	FlushOnFull bool
+	// RetryBase is the first backoff delay after a transient poll
+	// failure (default DefaultRetryBase).
+	RetryBase time.Duration
+	// RetryMax caps the backoff (default DefaultRetryMax).
+	RetryMax time.Duration
+	// CarryoverCap bounds the requeue buffer for drained workload
+	// entries whose insert failed (default DefaultCarryoverCap).
+	CarryoverCap int
+	// RefCacheCap bounds the reference dedup set; the oldest keys are
+	// evicted first (default DefaultRefCacheCap).
+	RefCacheCap int
+	// Logf receives diagnostics: transient poll failures, retry
+	// scheduling, alert errors. nil discards them.
+	Logf func(format string, args ...any)
 	// Now overrides the clock (tests).
 	Now func() time.Time
 }
@@ -82,23 +155,49 @@ type Stats struct {
 	RowsAppended int64
 	RowsPruned   int64
 	AlertsFired  int64
-	LastPoll     time.Time
+	// LastPoll is the start time of the most recent poll attempt; the
+	// zero time until the first poll runs.
+	LastPoll time.Time
+
+	// Fault-tolerance counters.
+	PollErrors     int64 // polls that returned a (transient) error
+	Retries        int64 // backoff-scheduled retry polls executed by Run
+	AlertErrors    int64 // alert evaluations that failed (query or operator)
+	CarryoverDepth int64 // drained workload entries awaiting re-insert
+	CarryoverDrops int64 // carryover entries dropped at the cap (oldest first)
+}
+
+// execTarget is the daemon's write surface to the workload DB. In
+// production it is a fresh engine session per poll; tests substitute a
+// fault-injecting wrapper to exercise the recovery paths.
+type execTarget interface {
+	Exec(sql string) (*engine.Result, error)
+	Close()
 }
 
 // Daemon persists monitoring data on a schedule.
 type Daemon struct {
-	cfg Config
+	cfg       Config
+	newTarget func() execTarget
+	logf      func(format string, args ...any)
+	carryCap  int
 
 	mu        sync.Mutex
-	seenRefs  map[string]bool // reference rows already persisted
+	refs      refDedup // reference rows already persisted, bounded FIFO
 	lastPrune time.Time
 	prevPoll  time.Time // statements unchanged since then are skipped
+	carryover []monitor.WorkloadEntry
 
-	polls    atomic.Int64
-	appended atomic.Int64
-	pruned   atomic.Int64
-	fired    atomic.Int64
-	lastPoll atomic.Int64 // unix micro
+	polls       atomic.Int64
+	appended    atomic.Int64
+	pruned      atomic.Int64
+	fired       atomic.Int64
+	lastPoll    atomic.Int64 // unix micro; 0 = never polled
+	pollErrors  atomic.Int64
+	retries     atomic.Int64
+	alertErrors atomic.Int64
+	carryDepth  atomic.Int64
+	carryDrops  atomic.Int64
 
 	fullSignal chan struct{}
 }
@@ -114,13 +213,37 @@ func New(cfg Config) (*Daemon, error) {
 	if cfg.Retention <= 0 {
 		cfg.Retention = DefaultRetention
 	}
+	if cfg.RetryBase <= 0 {
+		cfg.RetryBase = DefaultRetryBase
+	}
+	if cfg.RetryMax < cfg.RetryBase {
+		cfg.RetryMax = DefaultRetryMax
+		if cfg.RetryMax < cfg.RetryBase {
+			cfg.RetryMax = cfg.RetryBase
+		}
+	}
+	if cfg.CarryoverCap <= 0 {
+		cfg.CarryoverCap = DefaultCarryoverCap
+	}
+	if cfg.RefCacheCap <= 0 {
+		cfg.RefCacheCap = DefaultRefCacheCap
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
 	if err := workloaddb.EnsureSchema(cfg.Target); err != nil {
 		return nil, err
 	}
-	d := &Daemon{cfg: cfg, seenRefs: map[string]bool{}}
+	d := &Daemon{
+		cfg:      cfg,
+		logf:     cfg.Logf,
+		carryCap: cfg.CarryoverCap,
+		refs:     newRefDedup(cfg.RefCacheCap),
+	}
+	d.newTarget = func() execTarget { return cfg.Target.NewSession() }
 	if cfg.FlushOnFull {
 		d.fullSignal = make(chan struct{}, 1)
 		cfg.Mon.SetFullHandler(func() {
@@ -135,21 +258,68 @@ func New(cfg Config) (*Daemon, error) {
 
 // Run polls until the context is cancelled: on the configured interval
 // and, with FlushOnFull, whenever the monitor signals a near-full
-// workload ring.
+// workload ring. A transient poll failure does not terminate the loop;
+// it schedules a retry with capped exponential backoff (interval ticks
+// and full signals are absorbed while a retry is pending — draining
+// more entries into a failing pipeline would only grow the carryover).
+// Run returns only on context cancellation or a fatal error.
 func (d *Daemon) Run(ctx context.Context) error {
 	ticker := time.NewTicker(d.cfg.Interval)
 	defer ticker.Stop()
 	full := d.fullSignal // nil (blocks forever) unless FlushOnFull
+
+	backoff := d.cfg.RetryBase
+	var retryTimer *time.Timer
+	var retryC <-chan time.Time // nil unless a retry is pending
+	defer func() {
+		if retryTimer != nil {
+			retryTimer.Stop()
+		}
+	}()
+
+	attempt := func(isRetry bool) error {
+		if isRetry {
+			d.retries.Add(1)
+		}
+		err := d.Poll()
+		if err == nil {
+			backoff = d.cfg.RetryBase
+			retryC = nil
+			return nil
+		}
+		if IsFatal(err) || ctx.Err() != nil {
+			return err
+		}
+		d.logf("daemon: poll failed (retrying in %s): %v", backoff, err)
+		retryTimer = time.NewTimer(backoff)
+		retryC = retryTimer.C
+		backoff *= 2
+		if backoff > d.cfg.RetryMax {
+			backoff = d.cfg.RetryMax
+		}
+		return nil
+	}
+
 	for {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
 		case <-ticker.C:
-			if err := d.Poll(); err != nil {
+			if retryC != nil {
+				continue // the pending retry drives recovery
+			}
+			if err := attempt(false); err != nil {
 				return err
 			}
 		case <-full:
-			if err := d.Poll(); err != nil {
+			if retryC != nil {
+				continue
+			}
+			if err := attempt(false); err != nil {
+				return err
+			}
+		case <-retryC:
+			if err := attempt(true); err != nil {
 				return err
 			}
 		}
@@ -158,32 +328,48 @@ func (d *Daemon) Run(ctx context.Context) error {
 
 // Stats returns a snapshot of daemon counters.
 func (d *Daemon) Stats() Stats {
+	var last time.Time
+	if us := d.lastPoll.Load(); us != 0 {
+		last = time.UnixMicro(us)
+	}
 	return Stats{
-		Polls:        d.polls.Load(),
-		RowsAppended: d.appended.Load(),
-		RowsPruned:   d.pruned.Load(),
-		AlertsFired:  d.fired.Load(),
-		LastPoll:     time.UnixMicro(d.lastPoll.Load()),
+		Polls:          d.polls.Load(),
+		RowsAppended:   d.appended.Load(),
+		RowsPruned:     d.pruned.Load(),
+		AlertsFired:    d.fired.Load(),
+		LastPoll:       last,
+		PollErrors:     d.pollErrors.Load(),
+		Retries:        d.retries.Load(),
+		AlertErrors:    d.alertErrors.Load(),
+		CarryoverDepth: d.carryDepth.Load(),
+		CarryoverDrops: d.carryDrops.Load(),
 	}
 }
 
-// Poll performs one collection cycle: drain the workload ring, snapshot
-// the remaining IMA tables, append everything to the workload DB with
-// the poll timestamp, prune expired rows once per retention hour, then
-// evaluate alerts.
+// Poll performs one collection cycle: flush carried-over and freshly
+// drained workload entries, snapshot the remaining IMA tables, append
+// everything to the workload DB with the poll timestamp, prune expired
+// rows once per retention hour, then evaluate alerts.
+//
+// A failing section does not abort the cycle: each append runs
+// independently, failed workload inserts are requeued on the carryover
+// buffer, and the errors are joined into the return value for Run to
+// back off on. Alert evaluation never contributes an error.
 func (d *Daemon) Poll() error {
 	now := d.cfg.Now()
 	ts := now.UnixMicro()
 	d.polls.Add(1)
 	d.lastPoll.Store(ts)
 
-	target := d.cfg.Target.NewSession()
+	target := d.newTarget()
 	defer target.Close()
 
-	// 1. Workload entries: drained so each execution lands exactly once.
-	entries := d.cfg.Mon.DrainWorkload()
-	if err := d.appendWorkload(target, ts, entries); err != nil {
-		return err
+	var errs []error
+
+	// 1. Workload entries: carryover from failed polls first, then the
+	// fresh drain — each drained execution lands exactly once.
+	if err := d.flushWorkload(target, ts); err != nil {
+		errs = append(errs, err)
 	}
 
 	// 2. Snapshot-style tables via the monitor's statement-side
@@ -194,42 +380,104 @@ func (d *Daemon) Poll() error {
 	snap := d.cfg.Mon.SnapshotStatementSide()
 	d.mu.Lock()
 	since := d.prevPoll
-	d.prevPoll = now
 	d.mu.Unlock()
 	if err := d.appendStatements(target, ts, snap, since); err != nil {
-		return err
+		errs = append(errs, err)
+	} else {
+		// Advance the changed-since watermark only when the rows
+		// landed, so statements touched during an outage are retried.
+		d.mu.Lock()
+		if now.After(d.prevPoll) {
+			d.prevPoll = now
+		}
+		d.mu.Unlock()
 	}
 	if err := d.appendReferences(target, ts, snap); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if err := d.appendObjectTables(target, ts, snap); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 	if err := d.appendStatistics(target, ts); err != nil {
-		return err
+		errs = append(errs, err)
 	}
 
-	// 3. Retention pruning, at most once per hour of wall time.
+	// 3. Retention pruning, at most once per hour of wall time; a
+	// failed prune is retried next poll (lastPrune advances on success).
 	d.mu.Lock()
 	doPrune := now.Sub(d.lastPrune) >= time.Hour || d.lastPrune.IsZero()
-	if doPrune {
-		d.lastPrune = now
-	}
 	d.mu.Unlock()
 	if doPrune {
-		n, err := workloaddb.Prune(d.cfg.Target, d.cfg.Retention, now)
-		if err != nil {
-			return err
+		if n, err := workloaddb.Prune(d.cfg.Target, d.cfg.Retention, now); err != nil {
+			errs = append(errs, err)
+		} else {
+			d.pruned.Add(n)
+			d.mu.Lock()
+			d.lastPrune = now
+			d.mu.Unlock()
 		}
-		d.pruned.Add(n)
 	}
 
-	// 4. Alerts.
-	return d.evaluateAlerts(now)
+	// 4. Alerts — isolated; failures are counted, never propagated.
+	d.evaluateAlerts(now)
+
+	if len(errs) > 0 {
+		d.pollErrors.Add(1)
+		return errors.Join(errs...)
+	}
+	return nil
 }
 
-// insertBatch appends rows to a workload table in chunks.
-func (d *Daemon) insertBatch(s *engine.Session, table string, rows []sqltypes.Row) error {
+// flushWorkload persists the carryover buffer plus a fresh drain of
+// the monitor's workload ring. On failure the un-persisted suffix is
+// requeued (chunks that were Exec'd before the failure are not — a
+// failed Exec applies nothing, so the retry cannot duplicate rows).
+// When the carryover is already at capacity the ring is deliberately
+// not drained: entries stay in the monitor, where wraparound drops
+// oldest-first and is counted by Monitor.WorkloadDropped.
+func (d *Daemon) flushWorkload(x execTarget, ts int64) error {
+	d.mu.Lock()
+	pending := d.carryover
+	d.carryover = nil
+	d.mu.Unlock()
+
+	if len(pending) < d.carryCap {
+		pending = append(pending, d.cfg.Mon.DrainWorkload()...)
+	}
+	if len(pending) == 0 {
+		return nil
+	}
+	rows := make([]sqltypes.Row, len(pending))
+	for i, w := range pending {
+		rows[i] = tsRow(ts, ima.WorkloadRow(w))
+	}
+	n, err := d.insertBatch(x, workloaddb.Workload, rows)
+	if err == nil {
+		d.mu.Lock()
+		d.carryDepth.Store(int64(len(d.carryover)))
+		d.mu.Unlock()
+		return nil
+	}
+
+	rest := pending[n:]
+	d.mu.Lock()
+	// A concurrent Poll may have requeued in the meantime; append and
+	// trim to the cap, dropping oldest first.
+	d.carryover = append(d.carryover, rest...)
+	if drop := len(d.carryover) - d.carryCap; drop > 0 {
+		d.carryDrops.Add(int64(drop))
+		d.carryover = append([]monitor.WorkloadEntry(nil), d.carryover[drop:]...)
+	}
+	depth := len(d.carryover)
+	d.carryDepth.Store(int64(depth))
+	d.mu.Unlock()
+	return fmt.Errorf("daemon: workload append (%d entries requeued): %w", depth, err)
+}
+
+// insertBatch appends rows to a workload table in chunks. It returns
+// the number of rows successfully appended — on error, a strict prefix
+// of rows (the chunks whose Exec succeeded before the failure).
+func (d *Daemon) insertBatch(x execTarget, table string, rows []sqltypes.Row) (int, error) {
 	const chunk = 200
 	for start := 0; start < len(rows); start += chunk {
 		end := start + chunk
@@ -253,36 +501,25 @@ func (d *Daemon) insertBatch(s *engine.Session, table string, rows []sqltypes.Ro
 			}
 			b.WriteByte(')')
 		}
-		if _, err := s.Exec(b.String()); err != nil {
-			return fmt.Errorf("daemon: append to %s: %w", table, err)
+		if _, err := x.Exec(b.String()); err != nil {
+			return start, fmt.Errorf("daemon: append to %s: %w", table, err)
 		}
 		d.appended.Add(int64(end - start))
 	}
-	return nil
+	return len(rows), nil
 }
 
 func tsRow(ts int64, rest sqltypes.Row) sqltypes.Row {
 	return append(sqltypes.Row{sqltypes.NewInt(ts)}, rest...)
 }
 
-func (d *Daemon) appendWorkload(s *engine.Session, ts int64, entries []monitor.WorkloadEntry) error {
-	rows := make([]sqltypes.Row, 0, len(entries))
-	for _, w := range entries {
-		rows = append(rows, tsRow(ts, ima.WorkloadRow(w)))
-	}
-	return d.insertBatch(s, workloaddb.Workload, rows)
-}
-
-func (d *Daemon) appendStatements(s *engine.Session, ts int64, snap monitor.Snapshot, since time.Time) error {
+func (d *Daemon) appendStatements(x execTarget, ts int64, snap monitor.Snapshot, since time.Time) error {
 	rows := make([]sqltypes.Row, 0, len(snap.Statements))
 	for _, st := range snap.Statements {
 		if !since.IsZero() && st.LastSeen.Before(since) {
 			continue
 		}
-		text := st.Text
-		if len(text) > 500 {
-			text = text[:500]
-		}
+		text := sqltypes.TruncateUTF8(st.Text, workloaddb.StatementTextMax)
 		rows = append(rows, tsRow(ts, sqltypes.Row{
 			sqltypes.NewInt(int64(st.Hash)),
 			sqltypes.NewText(text),
@@ -292,18 +529,29 @@ func (d *Daemon) appendStatements(s *engine.Session, ts int64, snap monitor.Snap
 			sqltypes.NewInt(st.LastSeen.UnixMicro()),
 		}))
 	}
-	return d.insertBatch(s, workloaddb.Statements, rows)
+	_, err := d.insertBatch(x, workloaddb.Statements, rows)
+	return err
 }
 
-func (d *Daemon) appendReferences(s *engine.Session, ts int64, snap monitor.Snapshot) error {
+// appendReferences inserts reference rows not yet persisted. Keys are
+// committed to the dedup set only after their rows actually landed, so
+// an insert failure leaves them eligible for the next poll instead of
+// silently losing them forever.
+func (d *Daemon) appendReferences(x execTarget, ts int64, snap monitor.Snapshot) error {
 	var rows []sqltypes.Row
+	var keys []string
+	batch := map[string]struct{}{} // dedup within this snapshot
 	d.mu.Lock()
 	for _, r := range snap.References {
 		key := fmt.Sprintf("%d|%d|%s", r.Hash, r.Type, r.Name)
-		if d.seenRefs[key] {
+		if d.refs.has(key) {
 			continue
 		}
-		d.seenRefs[key] = true
+		if _, dup := batch[key]; dup {
+			continue
+		}
+		batch[key] = struct{}{}
+		keys = append(keys, key)
 		rows = append(rows, tsRow(ts, sqltypes.Row{
 			sqltypes.NewInt(int64(r.Hash)),
 			sqltypes.NewText(r.Type.String()),
@@ -311,16 +559,20 @@ func (d *Daemon) appendReferences(s *engine.Session, ts int64, snap monitor.Snap
 			sqltypes.NewText(r.Table),
 		}))
 	}
-	// Bound the dedup set.
-	if len(d.seenRefs) > 100000 {
-		d.seenRefs = map[string]bool{}
-	}
 	d.mu.Unlock()
-	return d.insertBatch(s, workloaddb.References, rows)
+	n, err := d.insertBatch(x, workloaddb.References, rows)
+	if n > 0 {
+		d.mu.Lock()
+		for _, k := range keys[:n] {
+			d.refs.add(k)
+		}
+		d.mu.Unlock()
+	}
+	return err
 }
 
 // appendObjectTables copies the per-object frequency tables.
-func (d *Daemon) appendObjectTables(s *engine.Session, ts int64, snap monitor.Snapshot) error {
+func (d *Daemon) appendObjectTables(x execTarget, ts int64, snap monitor.Snapshot) error {
 	cat := d.cfg.Source.Catalog()
 	var trows []sqltypes.Row
 	for _, t := range cat.Tables() {
@@ -335,7 +587,7 @@ func (d *Daemon) appendObjectTables(s *engine.Session, ts int64, snap monitor.Sn
 			sqltypes.NewInt(st.Rows),
 		}))
 	}
-	if err := d.insertBatch(s, workloaddb.Tables, trows); err != nil {
+	if _, err := d.insertBatch(x, workloaddb.Tables, trows); err != nil {
 		return err
 	}
 
@@ -359,7 +611,7 @@ func (d *Daemon) appendObjectTables(s *engine.Session, ts int64, snap monitor.Sn
 			}))
 		}
 	}
-	if err := d.insertBatch(s, workloaddb.Attributes, arows); err != nil {
+	if _, err := d.insertBatch(x, workloaddb.Attributes, arows); err != nil {
 		return err
 	}
 
@@ -387,10 +639,11 @@ func (d *Daemon) appendObjectTables(s *engine.Session, ts int64, snap monitor.Sn
 			sqltypes.NewInt(isVirtual),
 		}))
 	}
-	return d.insertBatch(s, workloaddb.Indexes, irows)
+	_, err := d.insertBatch(x, workloaddb.Indexes, irows)
+	return err
 }
 
-func (d *Daemon) appendStatistics(s *engine.Session, ts int64) error {
+func (d *Daemon) appendStatistics(x execTarget, ts int64) error {
 	st := d.cfg.Source.Stats()
 	row := tsRow(ts, sqltypes.Row{
 		sqltypes.NewInt(st.CurrentSessions),
@@ -404,46 +657,109 @@ func (d *Daemon) appendStatistics(s *engine.Session, ts int64) error {
 		sqltypes.NewInt(st.DiskReads),
 		sqltypes.NewInt(st.DiskWrites),
 		sqltypes.NewInt(st.DBBytes),
+		// The daemon's own health counters, so collector degradation is
+		// visible (and trendable) in the persisted series.
+		sqltypes.NewInt(d.pollErrors.Load()),
+		sqltypes.NewInt(d.retries.Load()),
+		sqltypes.NewInt(d.carryDepth.Load()),
+		sqltypes.NewInt(d.alertErrors.Load()),
 	})
-	return d.insertBatch(s, workloaddb.Statistics, []sqltypes.Row{row})
+	_, err := d.insertBatch(x, workloaddb.Statistics, []sqltypes.Row{row})
+	return err
 }
 
-func (d *Daemon) evaluateAlerts(now time.Time) error {
+// evaluateAlerts runs every alert rule, isolating failures: a bad
+// query or operator is logged and counted but cannot abort the poll or
+// starve the remaining alerts.
+func (d *Daemon) evaluateAlerts(now time.Time) {
 	if len(d.cfg.Alerts) == 0 {
-		return nil
+		return
 	}
 	s := d.cfg.Source.NewSession()
 	defer s.Close()
 	for _, a := range d.cfg.Alerts {
-		res, err := s.Exec(a.Query)
-		if err != nil {
-			return fmt.Errorf("daemon: alert %q: %w", a.Name, err)
+		if err := d.evaluateAlert(s, a, now); err != nil {
+			d.alertErrors.Add(1)
+			d.logf("daemon: alert %q: %v", a.Name, err)
 		}
-		if len(res.Rows) == 0 || len(res.Rows[0]) == 0 {
-			continue
-		}
-		v := res.Rows[0][0].AsFloat()
-		fireNow := false
-		switch a.Op {
-		case ">":
-			fireNow = v > a.Threshold
-		case ">=":
-			fireNow = v >= a.Threshold
-		case "<":
-			fireNow = v < a.Threshold
-		case "<=":
-			fireNow = v <= a.Threshold
-		case "=":
-			fireNow = v == a.Threshold
-		default:
-			return fmt.Errorf("daemon: alert %q: bad operator %q", a.Name, a.Op)
-		}
-		if fireNow {
-			d.fired.Add(1)
-			if a.Action != nil {
-				a.Action(Event{Alert: a.Name, Value: v, When: now})
-			}
+	}
+}
+
+func (d *Daemon) evaluateAlert(s *engine.Session, a Alert, now time.Time) error {
+	res, err := s.Exec(a.Query)
+	if err != nil {
+		return err
+	}
+	if len(res.Rows) == 0 || len(res.Rows[0]) == 0 {
+		return nil
+	}
+	v := res.Rows[0][0].AsFloat()
+	fireNow := false
+	switch a.Op {
+	case ">":
+		fireNow = v > a.Threshold
+	case ">=":
+		fireNow = v >= a.Threshold
+	case "<":
+		fireNow = v < a.Threshold
+	case "<=":
+		fireNow = v <= a.Threshold
+	case "=":
+		fireNow = v == a.Threshold
+	default:
+		return fmt.Errorf("bad operator %q", a.Op)
+	}
+	if fireNow {
+		d.fired.Add(1)
+		if a.Action != nil {
+			a.Action(Event{Alert: a.Name, Value: v, When: now})
 		}
 	}
 	return nil
 }
+
+// refDedup is a bounded FIFO set over reference keys: it remembers the
+// most recently added cap keys and evicts the oldest beyond that.
+// Unlike the previous wholesale map reset, eviction forgets only the
+// oldest keys, so references persisted recently keep deduplicating
+// across polls.
+type refDedup struct {
+	cap   int
+	seen  map[string]struct{}
+	order []string // insertion order; entries before head are evicted
+	head  int
+}
+
+func newRefDedup(cap int) refDedup {
+	hint := cap
+	if hint > 1024 {
+		hint = 1024
+	}
+	return refDedup{cap: cap, seen: make(map[string]struct{}, hint)}
+}
+
+func (r *refDedup) has(key string) bool {
+	_, ok := r.seen[key]
+	return ok
+}
+
+func (r *refDedup) add(key string) {
+	if _, ok := r.seen[key]; ok {
+		return
+	}
+	r.seen[key] = struct{}{}
+	r.order = append(r.order, key)
+	for len(r.seen) > r.cap {
+		delete(r.seen, r.order[r.head])
+		r.order[r.head] = "" // release the string
+		r.head++
+	}
+	// Compact the evicted prefix once it dominates the slice.
+	if r.head > 1024 && r.head > len(r.order)/2 {
+		r.order = append([]string(nil), r.order[r.head:]...)
+		r.head = 0
+	}
+}
+
+// len reports the live key count (tests).
+func (r *refDedup) len() int { return len(r.seen) }

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/engine"
 	"repro/internal/ima"
@@ -210,22 +212,138 @@ func TestAlerts(t *testing.T) {
 	}
 }
 
-func TestAlertErrors(t *testing.T) {
+func TestAlertErrorsAreIsolated(t *testing.T) {
+	// One broken alert query and one bad operator must not abort the
+	// poll or stop the healthy alert that follows them.
 	f := newFixture(t)
+	var fired int
+	var logged []string
 	d, _ := New(Config{
 		Source: f.source, Mon: f.mon, Target: f.target,
-		Alerts: []Alert{{Name: "bad", Query: "SELECT nope FROM missing", Op: ">", Threshold: 0}},
+		Logf: func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) },
+		Alerts: []Alert{
+			{Name: "bad-query", Query: "SELECT nope FROM missing", Op: ">", Threshold: 0},
+			{Name: "bad-op", Query: "SELECT statements FROM ima_statistics", Op: "!!", Threshold: 0},
+			{
+				Name: "healthy", Query: "SELECT statements FROM ima_statistics",
+				Op: ">=", Threshold: 0,
+				Action: func(Event) { fired++ },
+			},
+		},
 	})
-	if err := d.Poll(); err == nil {
-		t.Fatal("broken alert query not reported")
+	exec(t, f.sess, "SELECT COUNT(*) FROM t")
+	if err := d.Poll(); err != nil {
+		t.Fatalf("alert failures aborted the poll: %v", err)
 	}
-	f2 := newFixture(t)
-	d2, _ := New(Config{
-		Source: f2.source, Mon: f2.mon, Target: f2.target,
-		Alerts: []Alert{{Name: "badop", Query: "SELECT statements FROM ima_statistics", Op: "!!", Threshold: 0}},
-	})
-	if err := d2.Poll(); err == nil {
-		t.Fatal("bad operator not reported")
+	st := d.Stats()
+	if st.AlertErrors != 2 {
+		t.Errorf("AlertErrors = %d, want 2", st.AlertErrors)
+	}
+	if st.PollErrors != 0 {
+		t.Errorf("PollErrors = %d, want 0 (alert failures are not poll failures)", st.PollErrors)
+	}
+	if fired != 1 {
+		t.Errorf("healthy alert fired %d times, want 1", fired)
+	}
+	if len(logged) != 2 {
+		t.Errorf("logged %d alert failures, want 2: %q", len(logged), logged)
+	}
+}
+
+func TestStatsLastPollZeroBeforeFirstPoll(t *testing.T) {
+	f := newFixture(t)
+	d, _ := New(Config{Source: f.source, Mon: f.mon, Target: f.target})
+	if got := d.Stats().LastPoll; !got.IsZero() {
+		t.Errorf("LastPoll before any poll = %v, want the zero time", got)
+	}
+	if err := d.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().LastPoll; got.IsZero() || time.Since(got) > time.Minute {
+		t.Errorf("LastPoll after a poll = %v", got)
+	}
+}
+
+func TestReferenceDedupBoundedEviction(t *testing.T) {
+	// The dedup set evicts oldest-first at the cap instead of resetting
+	// wholesale, so recently persisted references stay deduplicated.
+	r := newRefDedup(4)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		r.add(k)
+	}
+	if r.len() != 4 {
+		t.Fatalf("len = %d", r.len())
+	}
+	r.add("e") // evicts "a", the oldest
+	if r.len() != 4 {
+		t.Errorf("len after eviction = %d, want 4", r.len())
+	}
+	for _, k := range []string{"b", "c", "d", "e"} {
+		if !r.has(k) {
+			t.Errorf("recent key %q evicted", k)
+		}
+	}
+	if r.has("a") {
+		t.Error("oldest key survived past the cap")
+	}
+	r.add("e") // re-adding a live key must not grow or evict
+	if r.len() != 4 || !r.has("b") {
+		t.Errorf("re-add disturbed the set: len=%d has(b)=%v", r.len(), r.has("b"))
+	}
+}
+
+func TestReferencesDedupAcrossEviction(t *testing.T) {
+	// End to end: with a small cap, a reference seen on every poll is
+	// still written only once as long as it stays within the window.
+	f := newFixture(t)
+	d, _ := New(Config{Source: f.source, Mon: f.mon, Target: f.target, RefCacheCap: 64})
+	for i := 0; i < 3; i++ {
+		exec(t, f.sess, "SELECT v FROM t WHERE id = 1")
+		if err := d.Poll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ws := f.target.NewSession()
+	defer ws.Close()
+	hash := int64(monitor.HashStatement("SELECT v FROM t WHERE id = 1"))
+	res := exec(t, ws, fmt.Sprintf(
+		"SELECT COUNT(*) FROM %s WHERE obj_type = 'table' AND obj_name = 't' AND hash = %d",
+		workloaddb.References, hash))
+	if res.Rows[0][0].I != 1 {
+		t.Errorf("reference rows = %v, want 1", res.Rows[0][0])
+	}
+}
+
+func TestStatementTextTruncatedOnRuneBoundary(t *testing.T) {
+	f := newFixture(t)
+	d, _ := New(Config{Source: f.source, Mon: f.mon, Target: f.target})
+	// Build a statement whose text exceeds the 512-byte bound with a
+	// 2-byte rune straddling the cut point.
+	pad := strings.Repeat("é", 400) // 800 bytes of 2-byte runes
+	sql := "SELECT v FROM t WHERE v = '" + pad + "'"
+	if len(sql) <= workloaddb.StatementTextMax {
+		t.Fatalf("test statement too short: %d bytes", len(sql))
+	}
+	exec(t, f.sess, sql)
+	if err := d.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	ws := f.target.NewSession()
+	defer ws.Close()
+	res := exec(t, ws, fmt.Sprintf("SELECT query_text FROM %s WHERE hash = %d",
+		workloaddb.Statements, int64(monitor.HashStatement(sql))))
+	if len(res.Rows) == 0 {
+		t.Fatal("long statement not persisted")
+	}
+	text := res.Rows[0][0].S
+	if len(text) > workloaddb.StatementTextMax {
+		t.Errorf("stored text is %d bytes, max %d", len(text), workloaddb.StatementTextMax)
+	}
+	if !utf8.ValidString(text) {
+		t.Errorf("stored text is invalid UTF-8 (rune split at the cut): %q", text[len(text)-4:])
+	}
+	if !strings.HasPrefix(sql, text) {
+		t.Error("stored text is not a prefix of the statement")
 	}
 }
 

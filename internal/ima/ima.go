@@ -263,9 +263,5 @@ func workloadRow(w monitor.WorkloadEntry) sqltypes.Row {
 // the paper describes as the next step in §IV-B).
 func WorkloadRow(w monitor.WorkloadEntry) sqltypes.Row { return workloadRow(w) }
 
-func truncate(s string, n int) string {
-	if len(s) <= n {
-		return s
-	}
-	return s[:n]
-}
+// truncate bounds statement text without splitting a multi-byte rune.
+func truncate(s string, n int) string { return sqltypes.TruncateUTF8(s, n) }

@@ -132,6 +132,12 @@ type Monitor struct {
 	// are full" instead of on a fixed schedule.
 	fullHandler atomic.Value // func()
 	fullFired   atomic.Bool
+
+	// workDropped counts workload entries lost to ring wraparound
+	// before any drain persisted them. When the storage daemon's
+	// carryover buffer is full it deliberately stops draining and lets
+	// the ring wrap — this counter makes that bounded loss observable.
+	workDropped atomic.Int64
 }
 
 // New creates an enabled monitor with the given configuration. Zero
@@ -420,6 +426,7 @@ func (h *Handle) Finish(execCPU, execIO, rows int64, execErr error) {
 		live = m.liveWork.Add(1)
 	} else {
 		live = int64(m.workCap) // overwrote this shard's oldest entry
+		m.workDropped.Add(1)
 	}
 	ws.ring[ws.pos] = entry
 	ws.seqs[ws.pos] = wseq
@@ -441,6 +448,16 @@ func (h *Handle) Finish(execCPU, execIO, rows int64, execErr error) {
 // storage daemon uses this to flush early instead of losing entries to
 // ring wraparound under statement bursts.
 func (m *Monitor) SetFullHandler(fn func()) { m.fullHandler.Store(fn) }
+
+// WorkloadDepth returns the number of workload entries currently
+// buffered in the ring (one atomic load; safe on the hot path). The
+// storage daemon reads it to decide how much is pending while its own
+// carryover buffer is saturated.
+func (m *Monitor) WorkloadDepth() int64 { return m.liveWork.Load() }
+
+// WorkloadDropped returns the cumulative number of workload entries
+// overwritten by ring wraparound before a drain could persist them.
+func (m *Monitor) WorkloadDropped() int64 { return m.workDropped.Load() }
 
 func tablePart(attr string) string {
 	for i := 0; i < len(attr); i++ {

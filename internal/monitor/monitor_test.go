@@ -218,3 +218,31 @@ func TestMonitorOverheadIsMicrosecondScale(t *testing.T) {
 		t.Error("monitor self-time not accumulated")
 	}
 }
+
+func TestWorkloadDepthAndDropped(t *testing.T) {
+	m := New(Config{WorkloadCapacity: 10, Shards: 2})
+	if m.WorkloadDepth() != 0 || m.WorkloadDropped() != 0 {
+		t.Fatalf("fresh monitor: depth=%d dropped=%d", m.WorkloadDepth(), m.WorkloadDropped())
+	}
+	for i := 0; i < 15; i++ {
+		record(m, "SELECT 1 FROM t", []string{"t"})
+	}
+	if got := m.WorkloadDepth(); got != 10 {
+		t.Errorf("WorkloadDepth = %d, want 10 (ring capacity)", got)
+	}
+	// 15 commits into a 10-entry ring: 5 entries were overwritten
+	// before any drain could persist them.
+	if got := m.WorkloadDropped(); got != 5 {
+		t.Errorf("WorkloadDropped = %d, want 5", got)
+	}
+	if n := len(m.DrainWorkload()); n != 10 {
+		t.Fatalf("drained %d, want 10", n)
+	}
+	if got := m.WorkloadDepth(); got != 0 {
+		t.Errorf("WorkloadDepth after drain = %d", got)
+	}
+	// The dropped counter is cumulative, not reset by draining.
+	if got := m.WorkloadDropped(); got != 5 {
+		t.Errorf("WorkloadDropped after drain = %d, want 5", got)
+	}
+}

@@ -7,7 +7,29 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"unicode/utf8"
 )
+
+// TruncateUTF8 returns the longest prefix of s that is at most max
+// bytes long and does not end in the middle of a multi-byte UTF-8
+// rune. A plain s[:max] slice can split a rune and produce invalid
+// text; every layer that bounds statement text (the IMA virtual
+// tables, the storage daemon) truncates through this helper instead.
+func TruncateUTF8(s string, max int) string {
+	if max < 0 {
+		max = 0
+	}
+	if len(s) <= max {
+		return s
+	}
+	cut := max
+	// Back up over continuation bytes: at most UTFMax-1 steps, so an
+	// invalid byte sequence cannot walk the cut point arbitrarily far.
+	for cut > 0 && cut > max-utf8.UTFMax && !utf8.RuneStart(s[cut]) {
+		cut--
+	}
+	return s[:cut]
+}
 
 // Type identifies the runtime type of a Value.
 type Type uint8

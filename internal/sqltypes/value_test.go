@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 	"testing/quick"
+	"unicode/utf8"
 )
 
 func TestTypeString(t *testing.T) {
@@ -202,5 +203,42 @@ func TestRowCloneAndString(t *testing.T) {
 	}
 	if got := r.String(); got != "1, x" {
 		t.Errorf("Row.String = %q", got)
+	}
+}
+
+func TestTruncateUTF8(t *testing.T) {
+	cases := []struct {
+		in   string
+		max  int
+		want string
+	}{
+		{"hello", 10, "hello"},            // shorter than max: unchanged
+		{"hello", 5, "hello"},             // exactly max: unchanged
+		{"hello", 3, "hel"},               // ASCII: plain byte cut
+		{"héllo", 2, "h"},                 // cut would split the 2-byte é
+		{"héllo", 3, "hé"},                // boundary lands after é
+		{"日本語", 4, "日"},                   // 3-byte runes
+		{"日本語", 6, "日本"},                  // exact rune boundary
+		{"a\U0001F600b", 4, "a"},          // 4-byte rune split
+		{"a\U0001F600b", 5, "a\U0001F600"},
+		{"hello", 0, ""},
+		{"hello", -1, ""},
+		{"\xff\xfe\xfd\xfc\xfb", 3, "\xff\xfe\xfd"}, // invalid UTF-8: bounded cut
+	}
+	for _, c := range cases {
+		got := TruncateUTF8(c.in, c.max)
+		if got != c.want {
+			t.Errorf("TruncateUTF8(%q, %d) = %q, want %q", c.in, c.max, got, c.want)
+		}
+		if len(got) > c.max && c.max >= 0 {
+			t.Errorf("TruncateUTF8(%q, %d) = %q exceeds max", c.in, c.max, got)
+		}
+	}
+	// Valid input always stays valid after truncation.
+	long := "péché-🎯-" // mixed widths
+	for i := 0; i <= len(long); i++ {
+		if got := TruncateUTF8(long, i); !utf8.ValidString(got) {
+			t.Errorf("TruncateUTF8(%q, %d) = %q is invalid UTF-8", long, i, got)
+		}
 	}
 }

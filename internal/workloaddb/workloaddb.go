@@ -26,6 +26,12 @@ const (
 	Statistics = "ws_statistics"
 )
 
+// StatementTextMax bounds persisted statement text in bytes. It
+// matches both the query_text VARCHAR(512) column below and the
+// engine's MaxTextBytes row limit; the daemon truncates statement
+// text to this many bytes on a rune boundary before appending.
+const StatementTextMax = 512
+
 // schemaDDL creates the workload tables.
 var schemaDDL = []string{
 	`CREATE TABLE IF NOT EXISTS ` + Statements + ` (
@@ -47,10 +53,14 @@ var schemaDDL = []string{
 	`CREATE TABLE IF NOT EXISTS ` + Indexes + ` (
 		ts_us BIGINT, index_name VARCHAR(64), table_name VARCHAR(64),
 		frequency BIGINT, is_virtual BIGINT)`,
+	// The trailing four columns are the storage daemon's own health
+	// counters, sampled each poll so the collector's failure history is
+	// queryable (and trendable) like any other statistic.
 	`CREATE TABLE IF NOT EXISTS ` + Statistics + ` (
 		ts_us BIGINT, current_sessions BIGINT, peak_sessions BIGINT, statements BIGINT,
 		locks_held BIGINT, lock_waits BIGINT, deadlocks BIGINT, cache_hits BIGINT,
-		cache_misses BIGINT, disk_reads BIGINT, disk_writes BIGINT, db_bytes BIGINT)`,
+		cache_misses BIGINT, disk_reads BIGINT, disk_writes BIGINT, db_bytes BIGINT,
+		poll_errors BIGINT, retries BIGINT, carryover_depth BIGINT, alert_errors BIGINT)`,
 }
 
 // AllTables lists every workload table, for pruning and reporting.

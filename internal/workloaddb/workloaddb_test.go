@@ -77,3 +77,26 @@ func TestGrowthModelMath(t *testing.T) {
 		t.Errorf("CapBytes = %v", got)
 	}
 }
+
+func TestStatementTextMaxMatchesEngine(t *testing.T) {
+	// The daemon's truncation bound, the ws_statements VARCHAR width
+	// and the engine's hard row limit must agree, or appends of
+	// near-limit statement text fail at insert time.
+	if StatementTextMax != engine.MaxTextBytes {
+		t.Errorf("StatementTextMax = %d, engine.MaxTextBytes = %d", StatementTextMax, engine.MaxTextBytes)
+	}
+}
+
+func TestStatisticsSchemaHasDaemonCounters(t *testing.T) {
+	db := openDB(t)
+	if err := EnsureSchema(db); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	defer s.Close()
+	res, err := s.Exec("SELECT poll_errors, retries, carryover_depth, alert_errors FROM " + Statistics)
+	if err != nil {
+		t.Fatalf("daemon counters missing from %s: %v", Statistics, err)
+	}
+	_ = res
+}
