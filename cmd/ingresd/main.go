@@ -25,11 +25,13 @@ import (
 	"repro/internal/engine"
 	"repro/internal/netsql"
 	"repro/internal/sqltypes"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	dir := flag.String("dir", "./ingresdb", "database directory")
 	listen := flag.String("listen", "", "also serve remote SQL sessions on this address (e.g. 127.0.0.1:4333)")
+	telemetryAddr := flag.String("telemetry.addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090); keep it on loopback or a management network")
 	flag.Parse()
 
 	sys, err := core.Open(core.Options{Dir: *dir})
@@ -40,6 +42,9 @@ func main() {
 	defer sys.Close()
 	if *listen != "" {
 		srv := netsql.NewServer(sys.DB)
+		srv.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
 		addr, err := srv.Listen(context.Background(), *listen)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ingresd:", err)
@@ -47,6 +52,15 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("ingresd: remote SQL sessions on %s\n", addr)
+	}
+	if *telemetryAddr != "" {
+		ts, err := telemetry.Serve(*telemetryAddr, sys.Telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ingresd:", err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		fmt.Printf("ingresd: telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", ts.Addr())
 	}
 	sess := sys.Session()
 	defer sess.Close()

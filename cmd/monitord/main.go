@@ -20,14 +20,16 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/daemon"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		dir       = flag.String("dir", "./ingresdb", "database directory (as used by ingresd)")
-		interval  = flag.Duration("interval", daemon.DefaultInterval, "polling interval")
-		retention = flag.Duration("retention", daemon.DefaultRetention, "workload retention window")
-		maxSess   = flag.Float64("alert-sessions", 0, "fire an alert when peak sessions reach this value (0 = off)")
+		dir           = flag.String("dir", "./ingresdb", "database directory (as used by ingresd)")
+		interval      = flag.Duration("interval", daemon.DefaultInterval, "polling interval")
+		retention     = flag.Duration("retention", daemon.DefaultRetention, "workload retention window")
+		maxSess       = flag.Float64("alert-sessions", 0, "fire an alert when peak sessions reach this value (0 = off)")
+		telemetryAddr = flag.String("telemetry.addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. 127.0.0.1:9090); keep it on loopback or a management network")
 	)
 	flag.Parse()
 
@@ -60,6 +62,15 @@ func main() {
 		os.Exit(1)
 	}
 	defer sys.Close()
+	if *telemetryAddr != "" {
+		ts, err := telemetry.Serve(*telemetryAddr, sys.Telemetry)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "monitord:", err)
+			os.Exit(1)
+		}
+		defer ts.Close()
+		fmt.Printf("monitord: telemetry on http://%s/metrics (pprof under /debug/pprof/)\n", ts.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -1,0 +1,72 @@
+package analyzer
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/workloaddb"
+)
+
+// LatencyPoint is one per-interval latency quantile, computed from the
+// difference between consecutive ws_latency histogram snapshots.
+type LatencyPoint struct {
+	At      time.Time     // poll timestamp of the snapshot
+	Q       time.Duration // the requested quantile (bucket upper bound)
+	Samples int64         // executions in the interval
+}
+
+// LatencyQuantiles computes the q-quantile (e.g. 0.99) of the named
+// histogram scope ("wall" or "opt") for every polling interval
+// persisted in ws_latency. The stored counts are cumulative, so each
+// point is the difference between consecutive snapshots: the paper's
+// trend analysis over tail latency, not just means. The first point
+// covers everything since monitor start; intervals without executions
+// are skipped.
+func (a *Analyzer) LatencyQuantiles(scope string, q float64) ([]LatencyPoint, error) {
+	if q <= 0 || q > 1 {
+		return nil, fmt.Errorf("analyzer: quantile must be in (0, 1], got %g", q)
+	}
+	s := a.cfg.WorkloadDB.NewSession()
+	defer s.Close()
+	res, err := s.Exec(fmt.Sprintf(
+		"SELECT ts_us, bucket, bucket_count FROM %s WHERE scope = '%s' ORDER BY ts_us",
+		workloaddb.Latency, scope))
+	if err != nil {
+		return nil, err
+	}
+
+	var out []LatencyPoint
+	var prev, cur monitor.LatencyCounts
+	curTS := int64(-1)
+	flush := func() {
+		if curTS < 0 {
+			return
+		}
+		var delta monitor.LatencyCounts
+		for i := range cur {
+			delta[i] = cur[i] - prev[i]
+		}
+		if n := delta.Total(); n > 0 {
+			out = append(out, LatencyPoint{
+				At:      time.UnixMicro(curTS),
+				Q:       delta.Quantile(q),
+				Samples: n,
+			})
+		}
+		prev = cur
+		cur = monitor.LatencyCounts{}
+	}
+	for _, r := range res.Rows {
+		ts, bucket, count := r[0].I, r[1].I, r[2].I
+		if ts != curTS {
+			flush()
+			curTS = ts
+		}
+		if bucket >= 0 && bucket < monitor.NumLatencyBuckets {
+			cur[bucket] = count
+		}
+	}
+	flush()
+	return out, nil
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/ima"
 	"repro/internal/monitor"
+	"repro/internal/telemetry"
 )
 
 // Options configures an integrated system.
@@ -66,6 +67,11 @@ type System struct {
 	WorkloadDB *engine.DB
 	Daemon     *daemon.Daemon
 	Analyzer   *analyzer.Analyzer
+	// Telemetry gathers monitor, engine and daemon metrics; serve it
+	// over HTTP with telemetry.Serve, or scrape it in-process. The
+	// same samples back the ima_health virtual table. Nil when
+	// monitoring is disabled.
+	Telemetry *telemetry.Registry
 }
 
 // Open builds the system in opts.Dir.
@@ -125,6 +131,30 @@ func Open(opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.Analyzer = an
+
+	// Telemetry plane: one registry over every component, served on
+	// demand by the commands and mirrored into ima_health so the same
+	// counters are queryable over SQL (labelled histogram series stay
+	// on /metrics; SQL reads ima_latency instead).
+	reg := telemetry.NewRegistry()
+	reg.Register("monitor", telemetry.MonitorSource(sys.Monitor))
+	reg.Register("engine", telemetry.EngineSource(db))
+	reg.Register("daemon", telemetry.DaemonSource(d))
+	sys.Telemetry = reg
+	if err := ima.RegisterHealth(db, func() []ima.HealthMetric {
+		var hm []ima.HealthMetric
+		for _, s := range reg.Gather() {
+			if len(s.Labels) > 0 {
+				continue
+			}
+			hm = append(hm, ima.HealthMetric{Component: s.Component, Metric: s.Name, Value: s.Value})
+		}
+		return hm
+	}); err != nil {
+		db.Close()
+		wdb.Close()
+		return nil, err
+	}
 	return sys, nil
 }
 

@@ -287,7 +287,12 @@ func (d *Daemon) Run(ctx context.Context) error {
 			retryC = nil
 			return nil
 		}
-		if IsFatal(err) || ctx.Err() != nil {
+		if ctx.Err() != nil {
+			// Cancelled mid-poll: report the cancellation, not whatever
+			// transient error the dying poll produced.
+			return ctx.Err()
+		}
+		if IsFatal(err) {
 			return err
 		}
 		d.logf("daemon: poll failed (retrying in %s): %v", backoff, err)
@@ -399,6 +404,9 @@ func (d *Daemon) Poll() error {
 		errs = append(errs, err)
 	}
 	if err := d.appendStatistics(target, ts); err != nil {
+		errs = append(errs, err)
+	}
+	if err := d.appendLatency(target, ts); err != nil {
 		errs = append(errs, err)
 	}
 
@@ -665,6 +673,38 @@ func (d *Daemon) appendStatistics(x execTarget, ts int64) error {
 		sqltypes.NewInt(d.alertErrors.Load()),
 	})
 	_, err := d.insertBatch(x, workloaddb.Statistics, []sqltypes.Row{row})
+	return err
+}
+
+// appendLatency persists one snapshot of the global latency histograms
+// (wallclock and optimize time) per poll: one row per non-empty
+// bucket, with cumulative counts. The trend analyzer differences
+// successive snapshots to compute per-interval quantiles (p99 trends,
+// not just means).
+func (d *Daemon) appendLatency(x execTarget, ts int64) error {
+	wall, opt := d.cfg.Mon.SnapshotLatency()
+	var rows []sqltypes.Row
+	emit := func(scope string, c *monitor.LatencyCounts) {
+		for b, n := range c {
+			if n == 0 {
+				continue
+			}
+			lo, hi := monitor.LatencyBucketBounds(b)
+			rows = append(rows, tsRow(ts, sqltypes.Row{
+				sqltypes.NewText(scope),
+				sqltypes.NewInt(int64(b)),
+				sqltypes.NewInt(int64(lo)),
+				sqltypes.NewInt(int64(hi)),
+				sqltypes.NewInt(n),
+			}))
+		}
+	}
+	emit("wall", &wall)
+	emit("opt", &opt)
+	if len(rows) == 0 {
+		return nil
+	}
+	_, err := d.insertBatch(x, workloaddb.Latency, rows)
 	return err
 }
 

@@ -300,10 +300,12 @@ func TestFaultInjectionExactlyOnce(t *testing.T) {
 		t.Fatal(err)
 	}
 	flaky := inject(d, f.target)
-	// Every 7th Exec against the target fails. (With every ≤ 3 no poll
-	// could ever fully succeed: a poll issues at least three consecutive
-	// Execs, and any such window contains a multiple of 3.)
-	flaky.every = 7
+	// Every 9th Exec against the target fails. A busy poll issues up to
+	// eight consecutive Execs (workload, statements, references, three
+	// object tables, statistics, latency — minus the tables with nothing
+	// new), so the failure position drifts across polls: some polls fail,
+	// some succeed. (With every ≤ 3 no poll could ever fully succeed.)
+	flaky.every = 9
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

@@ -1,0 +1,66 @@
+package daemon
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workloaddb"
+)
+
+// TestPollPersistsLatencyHistograms: each poll appends the cumulative
+// latency histograms to ws_latency, one row per non-empty bucket per
+// scope.
+func TestPollPersistsLatencyHistograms(t *testing.T) {
+	f := newFixture(t)
+	d, err := New(Config{Source: f.source, Mon: f.mon, Target: f.target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		exec(t, f.sess, fmt.Sprintf("SELECT v FROM t WHERE id = %d", i))
+	}
+	executed := f.mon.TotalStatements()
+	if err := d.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	ws := f.target.NewSession()
+	defer ws.Close()
+	res := exec(t, ws, "SELECT scope, bucket, lo_ns, hi_ns, bucket_count FROM "+workloaddb.Latency)
+	if len(res.Rows) == 0 {
+		t.Fatal("ws_latency is empty after a poll")
+	}
+	totals := map[string]int64{}
+	for _, r := range res.Rows {
+		scope := r[0].S
+		if scope != "wall" && scope != "opt" {
+			t.Errorf("unexpected scope %q", scope)
+		}
+		if r[2].I >= r[3].I {
+			t.Errorf("bucket %d: lo %d >= hi %d", r[1].I, r[2].I, r[3].I)
+		}
+		if r[4].I <= 0 {
+			t.Errorf("bucket %d: zero-count rows must not be persisted", r[1].I)
+		}
+		totals[scope] += r[4].I
+	}
+	// Counts are cumulative since monitor start, so the wall total is
+	// exactly every monitored execution up to the poll.
+	if totals["wall"] != executed {
+		t.Errorf("wall total = %d, want %d", totals["wall"], executed)
+	}
+
+	// A second poll appends a second, larger cumulative snapshot.
+	exec(t, f.sess, "SELECT COUNT(*) FROM t")
+	if err := d.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	res = exec(t, ws, "SELECT COUNT(*) FROM "+workloaddb.Latency)
+	if int(res.Rows[0][0].I) <= len(totals) {
+		t.Errorf("second poll did not append: %d rows", res.Rows[0][0].I)
+	}
+	res = exec(t, ws, "SELECT ts_us FROM "+workloaddb.Latency+" GROUP BY ts_us")
+	if len(res.Rows) != 2 {
+		t.Errorf("distinct poll timestamps = %d, want 2", len(res.Rows))
+	}
+}

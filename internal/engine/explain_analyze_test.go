@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func planText(res *Result) string {
+	var b strings.Builder
+	for _, r := range res.Rows {
+		b.WriteString(r[0].S)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestExplainAnalyzeAnnotatesActuals(t *testing.T) {
+	db := testDB(t)
+	s := db.NewSession()
+	defer s.Close()
+	setupPeople(t, s)
+
+	res := mustExec(t, s, "EXPLAIN ANALYZE SELECT name FROM people WHERE city = 'berlin'")
+	text := planText(res)
+	if !strings.Contains(text, "est rows=") || !strings.Contains(text, "actual rows=") {
+		t.Fatalf("EXPLAIN ANALYZE output missing estimate/actual annotations:\n%s", text)
+	}
+	// berlin holds every third id: ceil(2000/3) rows must be reported
+	// as the actual count somewhere in the operator tree.
+	want := fmt.Sprintf("actual rows=%d", (peopleRows+2)/3)
+	if !strings.Contains(text, want) {
+		t.Errorf("output does not report %q:\n%s", want, text)
+	}
+	if !strings.Contains(text, "estimated: cpu=") {
+		t.Errorf("missing estimated summary line:\n%s", text)
+	}
+	if !strings.Contains(text, "actual: wall=") {
+		t.Errorf("missing actual summary line:\n%s", text)
+	}
+
+	// The trace landed in the monitor ring with per-operator spans.
+	traces := db.Monitor().SnapshotTraces()
+	if len(traces) != 1 {
+		t.Fatalf("monitor holds %d traces, want 1", len(traces))
+	}
+	tr := traces[0]
+	if tr.Rows != int64((peopleRows+2)/3) {
+		t.Errorf("trace rows = %d, want %d", tr.Rows, (peopleRows+2)/3)
+	}
+	if len(tr.Spans) == 0 {
+		t.Fatalf("trace has no spans")
+	}
+	if tr.Spans[0].Depth != 0 {
+		t.Errorf("first span depth = %d, want 0 (pre-order root)", tr.Spans[0].Depth)
+	}
+	var sawRows bool
+	for _, sp := range tr.Spans {
+		if sp.Rows == int64((peopleRows+2)/3) {
+			sawRows = true
+		}
+	}
+	if !sawRows {
+		t.Errorf("no span produced the result row count; spans: %+v", tr.Spans)
+	}
+}
+
+func TestExplainAnalyzeJoinCountsPerOperator(t *testing.T) {
+	db := testDB(t)
+	s := db.NewSession()
+	defer s.Close()
+	mustExec(t, s, "CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, s, "CREATE TABLE b (id INTEGER PRIMARY KEY, aid INTEGER)")
+	for i := 0; i < 50; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO a VALUES (%d, %d)", i, i*2))
+		mustExec(t, s, fmt.Sprintf("INSERT INTO b VALUES (%d, %d)", i, i%10))
+	}
+	res := mustExec(t, s, "EXPLAIN ANALYZE SELECT a.v, b.id FROM a, b WHERE a.id = b.aid")
+	text := planText(res)
+	if !strings.Contains(text, "Join") {
+		t.Fatalf("expected a join operator:\n%s", text)
+	}
+	traces := db.Monitor().SnapshotTraces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	// The root operator must have produced all 50 join matches, and
+	// every span must have consistent call/row counts.
+	spans := traces[0].Spans
+	if spans[0].Rows != 50 {
+		t.Errorf("root span rows = %d, want 50", spans[0].Rows)
+	}
+	for i, sp := range spans {
+		if sp.Rows > sp.Calls {
+			t.Errorf("span %d (%s): rows %d > calls %d", i, sp.Op, sp.Rows, sp.Calls)
+		}
+		if sp.Nanos < 0 {
+			t.Errorf("span %d (%s): negative time %d", i, sp.Op, sp.Nanos)
+		}
+	}
+}
+
+func TestExplainAnalyzeExecutesAndMonitors(t *testing.T) {
+	db := testDB(t)
+	s := db.NewSession()
+	defer s.Close()
+	mustExec(t, s, "CREATE TABLE t (id INTEGER PRIMARY KEY)")
+	mustExec(t, s, "INSERT INTO t VALUES (1)")
+	before := db.Monitor().TotalStatements()
+	mustExec(t, s, "EXPLAIN ANALYZE SELECT id FROM t")
+	if got := db.Monitor().TotalStatements(); got != before+1 {
+		t.Errorf("TotalStatements = %d, want %d (ANALYZE executions are monitored)", got, before+1)
+	}
+	// Plain EXPLAIN still renders estimates only.
+	res := mustExec(t, s, "EXPLAIN SELECT id FROM t")
+	if text := planText(res); strings.Contains(text, "actual") {
+		t.Errorf("plain EXPLAIN must not report actuals:\n%s", text)
+	}
+}
+
+func TestExplainWhatIfAnalyzeRejected(t *testing.T) {
+	db := testDB(t)
+	s := db.NewSession()
+	defer s.Close()
+	mustExec(t, s, "CREATE TABLE t (id INTEGER PRIMARY KEY)")
+	if _, err := s.Exec("EXPLAIN WHATIF ANALYZE SELECT id FROM t"); err == nil {
+		t.Fatal("EXPLAIN WHATIF ANALYZE should be rejected")
+	}
+	// Both modifier orders parse to the same rejection.
+	if _, err := s.Exec("EXPLAIN ANALYZE WHATIF SELECT id FROM t"); err == nil {
+		t.Fatal("EXPLAIN ANALYZE WHATIF should be rejected")
+	}
+}

@@ -108,7 +108,9 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	// Lock acquisition, in sorted order to reduce deadlocks. Virtual
 	// tables are lock-free snapshots.
 	mode := lockX
-	if _, isSel := stmt.(*sqlparser.SelectStmt); isSel {
+	switch stmt.(type) {
+	case *sqlparser.SelectStmt, *sqlparser.ExplainStmt:
+		// EXPLAIN only plans; EXPLAIN ANALYZE executes but reads only.
 		mode = lockS
 	}
 	var locked []string
@@ -138,7 +140,7 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	case *sqlparser.SelectStmt:
 		res, err = s.execSelect(st, parsed, &h)
 	case *sqlparser.ExplainStmt:
-		res, err = s.execExplain(st, parsed)
+		res, err = s.execExplain(sql, st, parsed, &h)
 	case *sqlparser.CreateTableStmt:
 		res, err = db.execCreateTable(st)
 	case *sqlparser.DropTableStmt:
@@ -221,8 +223,15 @@ func (s *Session) execSelect(st *sqlparser.SelectStmt, parsed *sqlparser.ParseRe
 
 // execExplain handles the SQL form of EXPLAIN: it plans the embedded
 // SELECT (optionally admitting virtual indexes with WHATIF) and
-// returns the rendered plan as rows.
-func (s *Session) execExplain(st *sqlparser.ExplainStmt, parsed *sqlparser.ParseResult) (*Result, error) {
+// returns the rendered plan as rows. With ANALYZE it also executes the
+// statement under a per-operator trace.
+func (s *Session) execExplain(sql string, st *sqlparser.ExplainStmt, parsed *sqlparser.ParseResult, h *monitor.Handle) (*Result, error) {
+	if st.Analyze {
+		if st.WhatIf {
+			return nil, fmt.Errorf("engine: EXPLAIN WHATIF ANALYZE is not supported (virtual indexes cannot be executed)")
+		}
+		return s.execExplainAnalyze(sql, st, parsed, h)
+	}
 	plan, err := optimizer.PlanSelect(st.Select, s.db.catalogView(), optimizer.Options{
 		Params:             parsed.Params,
 		WithVirtualIndexes: st.WhatIf,
@@ -237,6 +246,84 @@ func (s *Session) execExplain(st *sqlparser.ExplainStmt, parsed *sqlparser.Parse
 	res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewText(fmt.Sprintf(
 		"estimated: cpu=%.0f io=%.0f rows=%.0f total=%.1f",
 		plan.Est.CPU, plan.Est.IO, plan.Est.Rows, plan.Est.Total()))})
+	return res, nil
+}
+
+// execExplainAnalyze executes the embedded SELECT with the per-operator
+// span collector attached and renders the plan annotated with actual
+// rows, inclusive time and Next() calls next to the estimates. The
+// trace is also pushed into the monitor's trace ring, where ima_spans
+// exposes it over SQL. The plan cache is bypassed: the point of
+// ANALYZE is to observe a full plan+execute cycle.
+func (s *Session) execExplainAnalyze(sql string, st *sqlparser.ExplainStmt, parsed *sqlparser.ParseResult, h *monitor.Handle) (*Result, error) {
+	db := s.db
+	t0 := time.Now()
+	plan, err := optimizer.PlanSelect(st.Select, db.catalogView(), optimizer.Options{Params: parsed.Params})
+	if err != nil {
+		return nil, err
+	}
+	prep, err := executor.Compile(plan)
+	if err != nil {
+		return nil, err
+	}
+	optTime := time.Since(t0)
+	h.Optimized(plan.Est.CPU, plan.Est.IO, plan.Est.Rows, plan.Attributes, plan.UsedIndexes, optTime)
+
+	tr := prep.NewTrace()
+	ctx := executor.Ctx{Params: parsed.Params, Trace: tr}
+	io0 := db.pool.Stats()
+	start := time.Now()
+	it, err := prep.Run(executorStorage{db}, &ctx)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := executor.Collect(it)
+	wall := time.Since(start)
+	io1 := db.pool.Stats()
+	ioDelta := (io1.Misses - io0.Misses) + (io1.DiskWrite - io0.DiskWrite)
+	h.Finish(ctx.Tuples, ioDelta, int64(len(rows)), err)
+	if err != nil {
+		return nil, err
+	}
+
+	metas := prep.SpanMetas()
+	if db.mon != nil && db.mon.Enabled() {
+		spans := make([]monitor.TraceSpan, len(metas))
+		for i, m := range metas {
+			c := tr.Counts[i]
+			spans[i] = monitor.TraceSpan{
+				Op: m.Kind, Detail: m.Detail, Depth: m.Depth, EstRows: m.EstRows,
+				Rows: c.Rows, Nanos: c.Nanos, Calls: c.Calls,
+			}
+		}
+		db.mon.RecordTrace(monitor.Trace{
+			Hash:  monitor.HashStatement(sql),
+			Text:  sql,
+			Start: start,
+			Wall:  wall,
+			Rows:  int64(len(rows)),
+			Spans: spans,
+		})
+	}
+
+	res := &Result{Columns: []string{"plan"}, Plan: plan}
+	for i, m := range metas {
+		c := tr.Counts[i]
+		line := strings.Repeat("  ", m.Depth) + m.Kind
+		if m.Detail != "" {
+			line += " " + m.Detail
+		}
+		line += fmt.Sprintf(" (est rows=%.0f) (actual rows=%d time=%s nexts=%d)",
+			m.EstRows, c.Rows, time.Duration(c.Nanos).Round(time.Microsecond), c.Calls)
+		res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewText(line)})
+	}
+	res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewText(fmt.Sprintf(
+		"estimated: cpu=%.0f io=%.0f rows=%.0f total=%.1f",
+		plan.Est.CPU, plan.Est.IO, plan.Est.Rows, plan.Est.Total()))})
+	res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewText(fmt.Sprintf(
+		"actual: wall=%s opt=%s rows=%d tuples=%d io=%d",
+		wall.Round(time.Microsecond), optTime.Round(time.Microsecond),
+		len(rows), ctx.Tuples, ioDelta))})
 	return res, nil
 }
 

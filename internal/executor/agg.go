@@ -24,8 +24,8 @@ type aggSpecC struct {
 	arg      expr.Compiled
 }
 
-func compileAgg(n *optimizer.Agg) (compiled, error) {
-	input, err := compileNode(n.Input)
+func (cp *compiler) compileAgg(n *optimizer.Agg, depth int) (compiled, error) {
+	input, err := cp.compile(n.Input, depth+1)
 	if err != nil {
 		return nil, err
 	}
@@ -241,8 +241,8 @@ type projectC struct {
 	exprs []expr.Compiled
 }
 
-func compileProject(n *optimizer.Project) (compiled, error) {
-	input, err := compileNode(n.Input)
+func (cp *compiler) compileProject(n *optimizer.Project, depth int) (compiled, error) {
+	input, err := cp.compile(n.Input, depth+1)
 	if err != nil {
 		return nil, err
 	}
@@ -296,8 +296,8 @@ type sortC struct {
 	keys  []optimizer.SortKey
 }
 
-func compileSort(n *optimizer.Sort) (compiled, error) {
-	input, err := compileNode(n.Input)
+func (cp *compiler) compileSort(n *optimizer.Sort, depth int) (compiled, error) {
+	input, err := cp.compile(n.Input, depth+1)
 	if err != nil {
 		return nil, err
 	}
@@ -332,8 +332,8 @@ func (c *sortC) open(rt *runtime) (RowIter, error) {
 
 type distinctC struct{ input compiled }
 
-func compileDistinct(n *optimizer.Distinct) (compiled, error) {
-	input, err := compileNode(n.Input)
+func (cp *compiler) compileDistinct(n *optimizer.Distinct, depth int) (compiled, error) {
+	input, err := cp.compile(n.Input, depth+1)
 	if err != nil {
 		return nil, err
 	}
@@ -378,8 +378,8 @@ type limitC struct {
 	offset int64
 }
 
-func compileLimit(n *optimizer.Limit) (compiled, error) {
-	input, err := compileNode(n.Input)
+func (cp *compiler) compileLimit(n *optimizer.Limit, depth int) (compiled, error) {
+	input, err := cp.compile(n.Input, depth+1)
 	if err != nil {
 		return nil, err
 	}
@@ -427,8 +427,8 @@ type stripC struct {
 	keep  int
 }
 
-func compileStrip(n *optimizer.Strip) (compiled, error) {
-	input, err := compileNode(n.Input)
+func (cp *compiler) compileStrip(n *optimizer.Strip, depth int) (compiled, error) {
+	input, err := cp.compile(n.Input, depth+1)
 	if err != nil {
 		return nil, err
 	}

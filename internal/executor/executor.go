@@ -33,17 +33,22 @@ type Storage interface {
 	PrimaryRange(table string, lo, hi []byte) (RowIter, error)
 }
 
-// Ctx carries per-execution state: bound parameters and the actual-CPU
-// counter the monitor records (one unit ≈ one tuple operation).
+// Ctx carries per-execution state: bound parameters, the actual-CPU
+// counter the monitor records (one unit ≈ one tuple operation) and an
+// optional per-operator trace (see trace.go).
 type Ctx struct {
 	Params []sqltypes.Value
 	Tuples int64
+	// Trace, when non-nil, receives per-operator row/time counts for
+	// this execution. It must come from the same Prepared's NewTrace.
+	Trace *ExecTrace
 }
 
 // Prepared is a compiled, reusable plan.
 type Prepared struct {
-	root compiled
-	out  []optimizer.OutCol
+	root  compiled
+	out   []optimizer.OutCol
+	spans []SpanMeta // operator descriptions in pre-order
 }
 
 // Columns returns the output column descriptions.
@@ -69,40 +74,56 @@ type compiled interface {
 // Compile binds every expression in the plan and returns a reusable
 // Prepared.
 func Compile(plan *optimizer.Plan) (*Prepared, error) {
-	root, err := compileNode(plan.Root)
+	var cp compiler
+	root, err := cp.compile(plan.Root, 0)
 	if err != nil {
 		return nil, err
 	}
-	return &Prepared{root: root, out: plan.Root.Out()}, nil
+	return &Prepared{root: root, out: plan.Root.Out(), spans: cp.spans}, nil
 }
 
-func compileNode(n optimizer.Node) (compiled, error) {
+// compiler walks the plan tree assigning pre-order span IDs; operators
+// with inputs compile their children through it so IDs stay aligned
+// with the SpanMeta slice.
+type compiler struct {
+	spans []SpanMeta
+}
+
+func (cp *compiler) compile(n optimizer.Node, depth int) (compiled, error) {
+	id := len(cp.spans)
+	cp.spans = append(cp.spans, spanMetaFor(n, depth))
+	var inner compiled
+	var err error
 	switch x := n.(type) {
 	case *optimizer.SeqScan:
-		return compileSeqScan(x)
+		inner, err = compileSeqScan(x)
 	case *optimizer.IndexScan:
-		return compileIndexScan(x)
+		inner, err = compileIndexScan(x)
 	case *optimizer.HashJoin:
-		return compileHashJoin(x)
+		inner, err = cp.compileHashJoin(x, depth)
 	case *optimizer.LoopJoin:
-		return compileLoopJoin(x)
+		inner, err = cp.compileLoopJoin(x, depth)
 	case *optimizer.IndexJoin:
-		return compileIndexJoin(x)
+		inner, err = cp.compileIndexJoin(x, depth)
 	case *optimizer.Agg:
-		return compileAgg(x)
+		inner, err = cp.compileAgg(x, depth)
 	case *optimizer.Project:
-		return compileProject(x)
+		inner, err = cp.compileProject(x, depth)
 	case *optimizer.Sort:
-		return compileSort(x)
+		inner, err = cp.compileSort(x, depth)
 	case *optimizer.Strip:
-		return compileStrip(x)
+		inner, err = cp.compileStrip(x, depth)
 	case *optimizer.Distinct:
-		return compileDistinct(x)
+		inner, err = cp.compileDistinct(x, depth)
 	case *optimizer.Limit:
-		return compileLimit(x)
+		inner, err = cp.compileLimit(x, depth)
 	default:
 		return nil, fmt.Errorf("executor: unsupported plan node %T", n)
 	}
+	if err != nil {
+		return nil, err
+	}
+	return &tracedC{inner: inner, id: id}, nil
 }
 
 // SliceRowIter iterates a materialized row slice; the engine uses it

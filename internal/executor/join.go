@@ -14,12 +14,12 @@ type hashJoinC struct {
 	leftWidth   int
 }
 
-func compileHashJoin(n *optimizer.HashJoin) (compiled, error) {
-	left, err := compileNode(n.Left)
+func (cp *compiler) compileHashJoin(n *optimizer.HashJoin, depth int) (compiled, error) {
+	left, err := cp.compile(n.Left, depth+1)
 	if err != nil {
 		return nil, err
 	}
-	right, err := compileNode(n.Right)
+	right, err := cp.compile(n.Right, depth+1)
 	if err != nil {
 		return nil, err
 	}
@@ -154,12 +154,12 @@ type loopJoinC struct {
 	cond        expr.Compiled
 }
 
-func compileLoopJoin(n *optimizer.LoopJoin) (compiled, error) {
-	left, err := compileNode(n.Left)
+func (cp *compiler) compileLoopJoin(n *optimizer.LoopJoin, depth int) (compiled, error) {
+	left, err := cp.compile(n.Left, depth+1)
 	if err != nil {
 		return nil, err
 	}
-	right, err := compileNode(n.Right)
+	right, err := cp.compile(n.Right, depth+1)
 	if err != nil {
 		return nil, err
 	}
@@ -227,8 +227,8 @@ type indexJoinC struct {
 	residual expr.Compiled   // bound against combined output
 }
 
-func compileIndexJoin(n *optimizer.IndexJoin) (compiled, error) {
-	left, err := compileNode(n.Left)
+func (cp *compiler) compileIndexJoin(n *optimizer.IndexJoin, depth int) (compiled, error) {
+	left, err := cp.compile(n.Left, depth+1)
 	if err != nil {
 		return nil, err
 	}

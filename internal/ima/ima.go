@@ -13,6 +13,15 @@
 //	ima_attributes  — per-attribute frequency and histogram presence
 //	ima_indexes     — per-index frequency
 //	ima_statistics  — system-wide statistics (sessions, locks, cache)
+//
+// The telemetry plane adds three more:
+//
+//	ima_latency     — log-bucketed latency histograms (global wallclock
+//	                  and optimize-time, plus per-statement wallclock)
+//	ima_spans       — per-operator spans of recent EXPLAIN ANALYZE
+//	                  traces, estimated vs. actual
+//	ima_health      — self-observability counters of the monitor and
+//	                  the storage daemon (see RegisterHealth)
 package ima
 
 import (
@@ -230,6 +239,67 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 				}}
 			},
 		},
+		{
+			name: "ima_latency",
+			schema: sqltypes.NewSchema(
+				sqltypes.Column{Name: "scope", Type: sqltypes.Text}, // wall | opt | stmt
+				sqltypes.Column{Name: "hash", Type: sqltypes.Int},   // 0 for global scopes
+				sqltypes.Column{Name: "bucket", Type: sqltypes.Int},
+				sqltypes.Column{Name: "lo_ns", Type: sqltypes.Int},
+				sqltypes.Column{Name: "hi_ns", Type: sqltypes.Int},
+				// Not "count": that collides with the COUNT() aggregate
+				// in the SQL grammar.
+				sqltypes.Column{Name: "bucket_count", Type: sqltypes.Int},
+			),
+			provider: func() []sqltypes.Row {
+				var rows []sqltypes.Row
+				wall, opt := mon.SnapshotLatency()
+				rows = appendLatencyRows(rows, "wall", 0, &wall)
+				rows = appendLatencyRows(rows, "opt", 0, &opt)
+				for _, s := range mon.SnapshotStatements() {
+					lat := s.Lat
+					rows = appendLatencyRows(rows, "stmt", s.Hash, &lat)
+				}
+				return rows
+			},
+		},
+		{
+			name: "ima_spans",
+			schema: sqltypes.NewSchema(
+				sqltypes.Column{Name: "trace_seq", Type: sqltypes.Int},
+				sqltypes.Column{Name: "hash", Type: sqltypes.Int},
+				sqltypes.Column{Name: "start_us", Type: sqltypes.Int},
+				sqltypes.Column{Name: "wall_us", Type: sqltypes.Int},
+				sqltypes.Column{Name: "op", Type: sqltypes.Text},
+				sqltypes.Column{Name: "detail", Type: sqltypes.Text},
+				sqltypes.Column{Name: "depth", Type: sqltypes.Int},
+				sqltypes.Column{Name: "est_rows", Type: sqltypes.Float},
+				sqltypes.Column{Name: "rows", Type: sqltypes.Int},
+				sqltypes.Column{Name: "span_ns", Type: sqltypes.Int},
+				sqltypes.Column{Name: "calls", Type: sqltypes.Int},
+			),
+			provider: func() []sqltypes.Row {
+				var rows []sqltypes.Row
+				for _, t := range mon.SnapshotTraces() {
+					for _, sp := range t.Spans {
+						rows = append(rows, sqltypes.Row{
+							sqltypes.NewInt(int64(t.Seq)),
+							sqltypes.NewInt(int64(t.Hash)),
+							sqltypes.NewInt(t.Start.UnixMicro()),
+							sqltypes.NewInt(t.Wall.Microseconds()),
+							sqltypes.NewText(sp.Op),
+							sqltypes.NewText(truncate(sp.Detail, engine.MaxTextBytes)),
+							sqltypes.NewInt(int64(sp.Depth)),
+							sqltypes.NewFloat(sp.EstRows),
+							sqltypes.NewInt(sp.Rows),
+							sqltypes.NewInt(sp.Nanos),
+							sqltypes.NewInt(sp.Calls),
+						})
+					}
+				}
+				return rows
+			},
+		},
 	}
 	for _, r := range regs {
 		if err := db.RegisterVirtual(r.name, r.schema, r.provider); err != nil {
@@ -237,6 +307,70 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 		}
 	}
 	return nil
+}
+
+// appendLatencyRows emits one row per non-empty histogram bucket.
+func appendLatencyRows(rows []sqltypes.Row, scope string, hash uint64, c *monitor.LatencyCounts) []sqltypes.Row {
+	for b, n := range c {
+		if n == 0 {
+			continue
+		}
+		lo, hi := monitor.LatencyBucketBounds(b)
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewText(scope),
+			sqltypes.NewInt(int64(hash)),
+			sqltypes.NewInt(int64(b)),
+			sqltypes.NewInt(int64(lo)),
+			sqltypes.NewInt(int64(hi)),
+			sqltypes.NewInt(n),
+		})
+	}
+	return rows
+}
+
+// HealthMetric is one row of the ima_health virtual table: a named
+// self-observability counter of a monitoring component.
+type HealthMetric struct {
+	Component string // "monitor", "daemon", ...
+	Metric    string
+	Value     float64
+}
+
+// MonitorHealth returns the monitor's own counters in ima_health form;
+// callers without a storage daemon can register it as the whole gather
+// function.
+func MonitorHealth(mon *monitor.Monitor) []HealthMetric {
+	return []HealthMetric{
+		{"monitor", "statements_total", float64(mon.TotalStatements())},
+		{"monitor", "sensor_seconds_total", mon.TotalMonitorTime().Seconds()},
+		{"monitor", "distinct_statements", float64(mon.StatementCount())},
+		{"monitor", "workload_depth", float64(mon.WorkloadDepth())},
+		{"monitor", "workload_dropped_total", float64(mon.WorkloadDropped())},
+		{"monitor", "traces_buffered", float64(mon.TraceCount())},
+	}
+}
+
+// RegisterHealth installs the ima_health virtual table. gather is
+// called per query; core wires it to the telemetry registry so SQL and
+// /metrics expose the same counters (monitor, engine and daemon).
+func RegisterHealth(db *engine.DB, gather func() []HealthMetric) error {
+	schema := sqltypes.NewSchema(
+		sqltypes.Column{Name: "component", Type: sqltypes.Text},
+		sqltypes.Column{Name: "metric", Type: sqltypes.Text},
+		sqltypes.Column{Name: "value", Type: sqltypes.Float},
+	)
+	return db.RegisterVirtual("ima_health", schema, func() []sqltypes.Row {
+		hm := gather()
+		rows := make([]sqltypes.Row, 0, len(hm))
+		for _, m := range hm {
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewText(m.Component),
+				sqltypes.NewText(m.Metric),
+				sqltypes.NewFloat(m.Value),
+			})
+		}
+		return rows
+	})
 }
 
 // workloadRow converts a workload entry to its IMA row form (shared

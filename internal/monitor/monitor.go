@@ -63,6 +63,13 @@ type StatementInfo struct {
 	FirstSeen time.Time
 	LastSeen  time.Time
 
+	// Lat is the per-statement wallclock latency histogram. It is
+	// plain (non-atomic) counters on purpose: it is bumped in the same
+	// critical section as Frequency, so its total always equals
+	// Frequency exactly, and StatementInfo stays copyable for the
+	// snapshot path and the shard freelist.
+	Lat LatencyCounts
+
 	seq uint64 // global insertion order, for the cross-shard merge
 }
 
@@ -101,6 +108,9 @@ type Config struct {
 	// GOMAXPROCS. The shard count never changes observable semantics,
 	// only contention.
 	Shards int
+	// TraceCapacity bounds the ring of per-operator statement traces
+	// (EXPLAIN ANALYZE). Zero means DefaultTraceCapacity.
+	TraceCapacity int
 }
 
 // Monitor is the in-core monitoring component. A disabled monitor adds
@@ -138,6 +148,11 @@ type Monitor struct {
 	// carryover buffer is full it deliberately stops draining and lets
 	// the ring wrap — this counter makes that bounded loss observable.
 	workDropped atomic.Int64
+
+	// traces is the bounded ring of per-operator statement traces
+	// (see trace.go); written only by EXPLAIN ANALYZE, never by the
+	// regular statement hot path.
+	traces traceRing
 }
 
 // New creates an enabled monitor with the given configuration. Zero
@@ -180,6 +195,7 @@ func New(cfg Config) *Monitor {
 		workCap:    perWork * nWork,
 	}
 	m.evict.init(cfg.StatementCapacity)
+	m.traces.init(cfg.TraceCapacity)
 	for i := range m.shards {
 		m.shards[i].init(perRef)
 	}
@@ -290,6 +306,11 @@ func (h *Handle) Finish(execCPU, execIO, rows int64, execErr error) {
 	m := h.m
 	h.m = nil
 	hash := HashStatement(h.text)
+	// Per-statement histogram bucket, derived from the clock read the
+	// sensor already paid for. The few hundred nanoseconds of Finish
+	// itself excluded here cannot move a sample across a power-of-two
+	// bucket boundary in any regime where the histogram is meaningful.
+	wallBucket := latencyBucket(t0.Sub(h.start))
 
 	entry := WorkloadEntry{
 		Hash:    hash,
@@ -396,6 +417,7 @@ func (h *Handle) Finish(execCPU, execIO, rows int64, execErr error) {
 	}
 	si.Frequency++
 	si.LastSeen = h.start
+	si.Lat[wallBucket]++ // same critical section as Frequency: totals match exactly
 
 	// Object frequencies (merged by summing across shards at snapshot).
 	for _, t := range h.tables {
@@ -433,7 +455,16 @@ func (h *Handle) Finish(execCPU, execIO, rows int64, execErr error) {
 	ws.pos = (ws.pos + 1) % len(ws.ring)
 	ws.stmtTotal++
 	ws.monNanosTotal += entry.MonNanos
+	ws.wallNanosTotal += int64(entry.Wall)
+	ws.optNanosTotal += int64(entry.OptTime)
 	ws.mu.Unlock()
+
+	// Global latency histograms: lock-free atomic bumps on this
+	// shard's counters, outside the critical section. Round-robin
+	// shard selection means the counters are usually uncontended even
+	// when every session runs the same statement.
+	ws.wallHist.record(entry.Wall)
+	ws.optHist.record(entry.OptTime)
 
 	if live*10 >= int64(m.workCap)*9 && !m.fullFired.Load() &&
 		m.fullFired.CompareAndSwap(false, true) {

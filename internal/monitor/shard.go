@@ -137,8 +137,16 @@ type workShard struct {
 	n    int
 
 	// cumulative counters; survive ring wraparound and drains.
-	stmtTotal     int64
-	monNanosTotal int64
+	stmtTotal      int64
+	monNanosTotal  int64
+	wallNanosTotal int64 // Σ statement wallclock, the histogram's _sum
+	optNanosTotal  int64 // Σ optimizer time
+
+	// Global latency histograms, sharded like the ring but updated
+	// with atomic counters outside the lock (see Handle.Finish). Kept
+	// inside workShard so the padding below also separates them.
+	wallHist latHist
+	optHist  latHist
 
 	_ [64]byte // pad against false sharing
 }

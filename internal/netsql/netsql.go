@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/sqltypes"
@@ -46,14 +47,31 @@ const maxLine = 4 << 20
 type Server struct {
 	db *engine.DB
 
+	// Logf, when set before Listen, receives protocol-level errors
+	// (oversized or unreadable request lines). Nil discards them.
+	Logf func(format string, args ...any)
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
+	closed   bool
+
+	lineErrors atomic.Int64
 }
 
 // NewServer wraps a database.
 func NewServer(db *engine.DB) *Server {
 	return &Server{db: db, conns: map[net.Conn]struct{}{}}
+}
+
+// LineErrors returns the number of request lines the server could not
+// read (scanner errors, e.g. a line exceeding the protocol limit).
+func (s *Server) LineErrors() int64 { return s.lineErrors.Load() }
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
 }
 
 // Listen starts accepting on addr (e.g. "127.0.0.1:0") and returns the
@@ -66,6 +84,7 @@ func (s *Server) Listen(ctx context.Context, addr string) (net.Addr, error) {
 	}
 	s.mu.Lock()
 	s.listener = ln
+	s.closed = false
 	s.mu.Unlock()
 	go func() {
 		<-ctx.Done()
@@ -81,17 +100,34 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return
 		}
-		s.mu.Lock()
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
+		if !s.track(conn) {
+			// Lost the race with Close: a connection accepted during
+			// shutdown must not be registered after Close cleared the
+			// map (it would never be closed again — a leak). Drop it.
+			conn.Close()
+			return
+		}
 		go s.serveConn(conn)
 	}
 }
 
-// Close stops the listener and disconnects every client.
+// track registers a live connection, refusing once Close has run.
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+// Close stops the listener and disconnects every client. Connections
+// still in flight inside the accept loop are refused by track.
 func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.closed = true
 	if s.listener != nil {
 		s.listener.Close()
 		s.listener = nil
@@ -125,6 +161,16 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
+	}
+	// A scanner error (most likely a request line over the protocol
+	// limit) used to end the connection silently; tell the client why,
+	// log it and count it. The connection still closes — the stream is
+	// desynchronized past a bad line.
+	if err := sc.Err(); err != nil {
+		s.lineErrors.Add(1)
+		s.logf("netsql: %s: request read error: %v", conn.RemoteAddr(), err)
+		enc.Encode(Response{Error: fmt.Sprintf(
+			"request read error (lines are limited to %d bytes): %v", maxLine, err)})
 	}
 }
 

@@ -1,0 +1,172 @@
+package netsql
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestOversizedRequestLineReportsError sends a request line beyond the
+// protocol limit: the server must reply with an error Response, count
+// it and log it — not drop the connection silently.
+func TestOversizedRequestLineReportsError(t *testing.T) {
+	db, err := engine.Open(engine.Config{Dir: t.TempDir(), PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := NewServer(db)
+	var logMu sync.Mutex
+	var logged []string
+	srv.Logf = func(format string, args ...any) {
+		logMu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		logMu.Unlock()
+	}
+	addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// One giant line, no newline needed: the scanner fails as soon as
+	// the buffered line exceeds maxLine.
+	junk := make([]byte, 64<<10)
+	for i := range junk {
+		junk[i] = 'x'
+	}
+	for written := 0; written <= maxLine; written += len(junk) {
+		if _, err := conn.Write(junk); err != nil {
+			t.Fatalf("write after %d bytes: %v", written, err)
+		}
+	}
+
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	if !sc.Scan() {
+		t.Fatalf("no error response before disconnect: %v", sc.Err())
+	}
+	var resp Response
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatalf("bad response %q: %v", sc.Text(), err)
+	}
+	if !strings.Contains(resp.Error, "request read error") {
+		t.Errorf("response error = %q, want a read-error explanation", resp.Error)
+	}
+	if got := srv.LineErrors(); got != 1 {
+		t.Errorf("LineErrors = %d, want 1", got)
+	}
+	logMu.Lock()
+	defer logMu.Unlock()
+	if len(logged) != 1 || !strings.Contains(logged[0], "request read error") {
+		t.Errorf("logged = %q, want one read-error line", logged)
+	}
+}
+
+// TestWellFormedErrorsDoNotCountAsLineErrors: SQL failures and bad
+// JSON are protocol-level replies, not read errors.
+func TestWellFormedErrorsDoNotCountAsLineErrors(t *testing.T) {
+	addr, _ := startServer(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("SELECT broken FROM nowhere"); err == nil {
+		t.Fatal("bad SQL succeeded")
+	}
+	// The connection survives a SQL error.
+	if _, err := c.Exec("SELECT COUNT(*) FROM ima_statements"); err != nil {
+		t.Fatalf("connection dead after SQL error: %v", err)
+	}
+}
+
+// TestTrackRefusesAfterClose covers the accept/Close race: a
+// connection that reaches track after Close must be refused (and
+// closed by the accept loop) instead of being registered in a map that
+// no one will ever clean again.
+func TestTrackRefusesAfterClose(t *testing.T) {
+	db, err := engine.Open(engine.Config{Dir: t.TempDir(), PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv := NewServer(db)
+	if _, err := srv.Listen(context.Background(), "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	if !srv.track(c1) {
+		t.Fatal("track refused a connection while the server is open")
+	}
+	srv.Close()
+	c3, c4 := net.Pipe()
+	defer c3.Close()
+	defer c4.Close()
+	if srv.track(c3) {
+		t.Error("track accepted a connection after Close")
+	}
+	// Listen resets the flag, so a restarted server accepts again.
+	if _, err := srv.Listen(context.Background(), "127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c5, c6 := net.Pipe()
+	defer c5.Close()
+	defer c6.Close()
+	if !srv.track(c5) {
+		t.Error("track refused after the server was reopened")
+	}
+}
+
+// TestCloseWhileAccepting hammers Listen/Dial/Close concurrently; run
+// under -race this exercises the accept/Close path for leaks and
+// races.
+func TestCloseWhileAccepting(t *testing.T) {
+	db, err := engine.Open(engine.Config{Dir: t.TempDir(), PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for round := 0; round < 20; round++ {
+		srv := NewServer(db)
+		addr, err := srv.Listen(context.Background(), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conn, err := net.Dial("tcp", addr.String())
+				if err != nil {
+					return // racing Close; refusal is fine
+				}
+				conn.Close()
+			}()
+		}
+		srv.Close()
+		wg.Wait()
+		srv.mu.Lock()
+		if n := len(srv.conns); n != 0 {
+			t.Fatalf("round %d: %d connections leaked past Close", round, n)
+		}
+		srv.mu.Unlock()
+	}
+}

@@ -206,12 +206,16 @@ type ModifyStmt struct {
 	KeyCols   []string // for BTREE; defaults to the primary key
 }
 
-// ExplainStmt plans a SELECT without executing it: EXPLAIN [WHATIF]
-// SELECT ... . WHATIF admits virtual indexes, exposing the analyzer's
-// what-if interface directly in SQL.
+// ExplainStmt plans a SELECT: EXPLAIN [WHATIF|ANALYZE] SELECT ... .
+// WHATIF admits virtual indexes, exposing the analyzer's what-if
+// interface directly in SQL. ANALYZE also executes the statement and
+// annotates every operator with actual rows and time next to the
+// optimizer's estimates (WHATIF and ANALYZE are mutually exclusive:
+// virtual indexes cannot be executed).
 type ExplainStmt struct {
-	WhatIf bool
-	Select *SelectStmt
+	WhatIf  bool
+	Analyze bool
+	Select  *SelectStmt
 }
 
 // CreateStatisticsStmt collects histograms, the equivalent of Ingres

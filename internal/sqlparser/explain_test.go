@@ -1,0 +1,42 @@
+package sqlparser
+
+import "testing"
+
+func TestParseExplainModifiers(t *testing.T) {
+	cases := []struct {
+		sql     string
+		whatIf  bool
+		analyze bool
+	}{
+		{"EXPLAIN SELECT a FROM t", false, false},
+		{"EXPLAIN WHATIF SELECT a FROM t", true, false},
+		{"EXPLAIN ANALYZE SELECT a FROM t", false, true},
+		{"explain analyze select a from t", false, true},
+		// Modifier order is free; the engine rejects the combination.
+		{"EXPLAIN WHATIF ANALYZE SELECT a FROM t", true, true},
+		{"EXPLAIN ANALYZE WHATIF SELECT a FROM t", true, true},
+	}
+	for _, c := range cases {
+		st := mustParse(t, c.sql).(*ExplainStmt)
+		if st.WhatIf != c.whatIf || st.Analyze != c.analyze {
+			t.Errorf("Parse(%q): WhatIf=%v Analyze=%v, want %v/%v",
+				c.sql, st.WhatIf, st.Analyze, c.whatIf, c.analyze)
+		}
+		if st.Select == nil {
+			t.Errorf("Parse(%q): nil Select", c.sql)
+		}
+	}
+}
+
+func TestParseExplainErrors(t *testing.T) {
+	for _, sql := range []string{
+		"EXPLAIN",
+		"EXPLAIN ANALYZE",
+		"EXPLAIN ANALYZE ANALYZE SELECT a FROM t",
+		"EXPLAIN ANALYZE INSERT INTO t VALUES (1)",
+	} {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q): expected error", sql)
+		}
+	}
+}

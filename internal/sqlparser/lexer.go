@@ -41,7 +41,7 @@ var keywordList = []string{
 	"INSERT", "INTO", "VALUES",
 	"UPDATE", "SET", "DELETE",
 	"MODIFY", "TO", "HEAP", "BTREE",
-	"STATISTICS", "FOR", "EXPLAIN", "WHATIF",
+	"STATISTICS", "FOR", "EXPLAIN", "WHATIF", "ANALYZE",
 	"INTEGER", "INT", "BIGINT",
 	"FLOAT", "REAL", "DOUBLE",
 	"VARCHAR", "CHAR", "TEXT",

@@ -178,7 +178,18 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseModify()
 	case "EXPLAIN":
 		p.next()
-		whatIf := p.acceptKeyword("WHATIF")
+		var whatIf, analyze bool
+		for { // WHATIF and ANALYZE modifiers, in either order
+			if !whatIf && p.acceptKeyword("WHATIF") {
+				whatIf = true
+				continue
+			}
+			if !analyze && p.acceptKeyword("ANALYZE") {
+				analyze = true
+				continue
+			}
+			break
+		}
 		if p.peek().kind != tokKeyword || p.peek().text != "SELECT" {
 			return nil, p.errorf("EXPLAIN supports SELECT only")
 		}
@@ -186,7 +197,7 @@ func (p *parser) parseStatement() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{WhatIf: whatIf, Select: sel}, nil
+		return &ExplainStmt{WhatIf: whatIf, Analyze: analyze, Select: sel}, nil
 	default:
 		return nil, p.errorf("unsupported statement %q", t.text)
 	}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"strconv"
+
+	"repro/internal/daemon"
+	"repro/internal/engine"
+	"repro/internal/monitor"
+)
+
+// Adapters turning the monitoring components into metric sources. They
+// read only snapshot/atomic accessors, so scraping never blocks the
+// statement hot path.
+
+// HistogramMetrics renders a monitor latency histogram as Prometheus
+// histogram series: cumulative <name>_bucket{le=...} samples plus
+// <name>_sum (seconds) and <name>_count. Empty buckets are skipped —
+// cumulative counts stay correct and the exposition stays small.
+func HistogramMetrics(name, help string, c *monitor.LatencyCounts, sum float64) []Metric {
+	total := c.Total()
+	out := make([]Metric, 0, 8)
+	var cum int64
+	for i, v := range c {
+		cum += v
+		if v == 0 {
+			continue
+		}
+		_, hi := monitor.LatencyBucketBounds(i)
+		out = append(out, Metric{
+			Name: name + "_bucket", Help: help, Kind: Counter, Value: float64(cum),
+			Labels: []Label{{Key: "le", Value: strconv.FormatInt(int64(hi), 10)}},
+		})
+	}
+	out = append(out,
+		Metric{Name: name + "_bucket", Help: help, Kind: Counter, Value: float64(total),
+			Labels: []Label{{Key: "le", Value: "+Inf"}}},
+		Metric{Name: name + "_sum", Help: help, Kind: Counter, Value: sum},
+		Metric{Name: name + "_count", Help: help, Kind: Counter, Value: float64(total)},
+	)
+	return out
+}
+
+// MonitorSource exposes the monitor's totals and latency histograms.
+func MonitorSource(m *monitor.Monitor) Source {
+	return func() []Metric {
+		wall, opt := m.SnapshotLatency()
+		wallSum, optSum := m.LatencySums()
+		ms := []Metric{
+			{Name: "monitor_statements_total", Help: "Monitored statement executions.", Kind: Counter, Value: float64(m.TotalStatements())},
+			{Name: "monitor_sensor_seconds_total", Help: "Wallclock seconds spent inside monitor sensors.", Kind: Counter, Value: m.TotalMonitorTime().Seconds()},
+			{Name: "monitor_distinct_statements", Help: "Distinct statements in the statement ring.", Kind: Gauge, Value: float64(m.StatementCount())},
+			{Name: "monitor_workload_depth", Help: "Workload entries buffered awaiting drain.", Kind: Gauge, Value: float64(m.WorkloadDepth())},
+			{Name: "monitor_workload_dropped_total", Help: "Workload entries lost to ring wraparound.", Kind: Counter, Value: float64(m.WorkloadDropped())},
+			{Name: "monitor_traces_buffered", Help: "EXPLAIN ANALYZE traces in the trace ring.", Kind: Gauge, Value: float64(m.TraceCount())},
+		}
+		ms = append(ms, HistogramMetrics("monitor_statement_wall_ns",
+			"Statement wallclock latency in nanoseconds.", &wall, wallSum.Seconds()*1e9)...)
+		ms = append(ms, HistogramMetrics("monitor_statement_opt_ns",
+			"Optimizer time per statement in nanoseconds.", &opt, optSum.Seconds()*1e9)...)
+		return ms
+	}
+}
+
+// EngineSource exposes the engine-wide counters that back
+// ima_statistics.
+func EngineSource(db *engine.DB) Source {
+	return func() []Metric {
+		st := db.Stats()
+		return []Metric{
+			{Name: "engine_sessions_current", Help: "Open sessions.", Kind: Gauge, Value: float64(st.CurrentSessions)},
+			{Name: "engine_sessions_peak", Help: "Peak concurrent sessions.", Kind: Gauge, Value: float64(st.PeakSessions)},
+			{Name: "engine_statements_total", Help: "Statements executed.", Kind: Counter, Value: float64(st.Statements)},
+			{Name: "engine_locks_held", Help: "Locks currently held.", Kind: Gauge, Value: float64(st.LocksHeld)},
+			{Name: "engine_lock_waits_total", Help: "Lock acquisitions that waited.", Kind: Counter, Value: float64(st.LockWaits)},
+			{Name: "engine_deadlocks_total", Help: "Deadlocks detected.", Kind: Counter, Value: float64(st.Deadlocks)},
+			{Name: "engine_cache_hits_total", Help: "Buffer pool hits.", Kind: Counter, Value: float64(st.CacheHits)},
+			{Name: "engine_cache_misses_total", Help: "Buffer pool misses.", Kind: Counter, Value: float64(st.CacheMisses)},
+			{Name: "engine_disk_reads_total", Help: "Pages read from disk.", Kind: Counter, Value: float64(st.DiskReads)},
+			{Name: "engine_disk_writes_total", Help: "Pages written to disk.", Kind: Counter, Value: float64(st.DiskWrites)},
+			{Name: "engine_db_bytes", Help: "Database size on disk in bytes.", Kind: Gauge, Value: float64(st.DBBytes)},
+		}
+	}
+}
+
+// DaemonSource exposes the storage daemon's Stats() counters — the
+// collector's own health, mirroring the fault-tolerance columns the
+// daemon appends to ws_statistics.
+func DaemonSource(d *daemon.Daemon) Source {
+	return func() []Metric {
+		st := d.Stats()
+		ms := []Metric{
+			{Name: "daemon_polls_total", Help: "Completed poll attempts.", Kind: Counter, Value: float64(st.Polls)},
+			{Name: "daemon_rows_appended_total", Help: "Rows appended to the workload DB.", Kind: Counter, Value: float64(st.RowsAppended)},
+			{Name: "daemon_rows_pruned_total", Help: "Rows pruned past retention.", Kind: Counter, Value: float64(st.RowsPruned)},
+			{Name: "daemon_alerts_fired_total", Help: "Alert actions invoked.", Kind: Counter, Value: float64(st.AlertsFired)},
+			{Name: "daemon_poll_errors_total", Help: "Polls that returned a transient error.", Kind: Counter, Value: float64(st.PollErrors)},
+			{Name: "daemon_retries_total", Help: "Backoff retry polls executed.", Kind: Counter, Value: float64(st.Retries)},
+			{Name: "daemon_alert_errors_total", Help: "Alert evaluations that failed.", Kind: Counter, Value: float64(st.AlertErrors)},
+			{Name: "daemon_carryover_depth", Help: "Drained entries awaiting re-insert.", Kind: Gauge, Value: float64(st.CarryoverDepth)},
+			{Name: "daemon_carryover_drops_total", Help: "Carryover entries dropped at the cap.", Kind: Counter, Value: float64(st.CarryoverDrops)},
+		}
+		if !st.LastPoll.IsZero() {
+			ms = append(ms, Metric{Name: "daemon_last_poll_timestamp_seconds",
+				Help: "Unix time of the last poll attempt.", Kind: Gauge,
+				Value: float64(st.LastPoll.UnixNano()) / 1e9})
+		}
+		return ms
+	}
+}

@@ -24,6 +24,7 @@ const (
 	Attributes = "ws_attributes"
 	Indexes    = "ws_indexes"
 	Statistics = "ws_statistics"
+	Latency    = "ws_latency"
 )
 
 // StatementTextMax bounds persisted statement text in bytes. It
@@ -61,10 +62,17 @@ var schemaDDL = []string{
 		locks_held BIGINT, lock_waits BIGINT, deadlocks BIGINT, cache_hits BIGINT,
 		cache_misses BIGINT, disk_reads BIGINT, disk_writes BIGINT, db_bytes BIGINT,
 		poll_errors BIGINT, retries BIGINT, carryover_depth BIGINT, alert_errors BIGINT)`,
+	// One row per non-empty histogram bucket per poll. Counts are
+	// cumulative since monitor start (counter semantics, like
+	// Prometheus); the analyzer differences successive snapshots to get
+	// per-interval distributions and quantiles.
+	`CREATE TABLE IF NOT EXISTS ` + Latency + ` (
+		ts_us BIGINT, scope VARCHAR(8), bucket BIGINT, lo_ns BIGINT, hi_ns BIGINT,
+		bucket_count BIGINT)`,
 }
 
 // AllTables lists every workload table, for pruning and reporting.
-var AllTables = []string{Statements, Workload, References, Tables, Attributes, Indexes, Statistics}
+var AllTables = []string{Statements, Workload, References, Tables, Attributes, Indexes, Statistics, Latency}
 
 // EnsureSchema creates the workload tables if they do not exist.
 func EnsureSchema(db *engine.DB) error {
