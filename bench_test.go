@@ -384,6 +384,119 @@ func BenchmarkParseNormalized(b *testing.B) {
 
 func nowNano() int64 { return time.Now().UnixNano() }
 
+// --- Vectorized execution: batch vs row pipeline ---------------------
+
+const scanAggRows = 20000
+
+var (
+	scanAggOnce sync.Once
+	scanAggDB   *engine.DB
+	scanAggErr  error
+)
+
+// scanAggInstance lazily builds a dedicated instance with one wide
+// heap table, large enough that scan+decode dominates over parse and
+// plan-cache overhead.
+func scanAggInstance(b *testing.B) *engine.DB {
+	b.Helper()
+	scanAggOnce.Do(func() {
+		db, err := engine.Open(engine.Config{Dir: benchRoot + "/scanagg/db", PoolPages: 4096})
+		if err != nil {
+			scanAggErr = err
+			return
+		}
+		s := db.NewSession()
+		_, err = s.Exec("CREATE TABLE scanrows (id INTEGER PRIMARY KEY, a INTEGER, f FLOAT, grp INTEGER, x INTEGER, y FLOAT)")
+		s.Close()
+		if err != nil {
+			scanAggErr = err
+			return
+		}
+		rows := make([]sqltypes.Row, scanAggRows)
+		for i := range rows {
+			rows[i] = sqltypes.Row{
+				sqltypes.NewInt(int64(i)),
+				sqltypes.NewInt(int64(i * 7919 % 1000)),
+				sqltypes.NewFloat(float64(i%977) * 1.5),
+				sqltypes.NewInt(int64(i % 16)),
+				sqltypes.NewInt(int64(i % 8191)),
+				sqltypes.NewFloat(float64(i) * 0.25),
+			}
+		}
+		if err := db.BulkInsert("scanrows", rows); err != nil {
+			scanAggErr = err
+			return
+		}
+		scanAggDB = db
+	})
+	if scanAggErr != nil {
+		b.Fatal(scanAggErr)
+	}
+	return scanAggDB
+}
+
+// benchScanAgg runs a scan+filter+aggregate statement — the query
+// shape the vectorized pipeline targets — in the given execution mode.
+// EXPERIMENTS.md records the row/batch before/after numbers.
+func benchScanAgg(b *testing.B, batch bool) {
+	db := scanAggInstance(b)
+	s := db.NewSession()
+	defer s.Close()
+	s.SetBatchExec(batch)
+	const q = "SELECT grp, COUNT(*), SUM(f) FROM scanrows WHERE a < 300 GROUP BY grp"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Exec(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 16 {
+			b.Fatalf("groups = %d", len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkScanAgg_Row(b *testing.B)   { benchScanAgg(b, false) }
+func BenchmarkScanAgg_Batch(b *testing.B) { benchScanAgg(b, true) }
+
+// BenchmarkBatchScan measures the storage-layer batch scan in
+// isolation: page-at-a-time pinning into a reused record batch. The
+// inner loop must stay allocation-free (TestScanBatchAllocs pins the
+// invariant; this reports the amortized per-scan numbers).
+func BenchmarkBatchScan(b *testing.B) {
+	pool := storage.NewPool(4096)
+	f := benchFile(b, pool)
+	defer f.Close()
+	h := storage.OpenHeap(f, 1, 0)
+	rec := make([]byte, 64)
+	for i := 0; i < scanAggRows; i++ {
+		if _, err := h.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var rb storage.RecBatch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it := h.ScanBatch()
+		rows := 0
+		for {
+			ok, err := it.NextBatchMax(&rb, 1024)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			rows += rb.Len()
+		}
+		if rows != scanAggRows {
+			b.Fatalf("scanned %d rows", rows)
+		}
+	}
+}
+
 // --- Ablations: design choices called out in DESIGN.md ----------------
 
 // BenchmarkAblation_PlanCacheOff measures the point select with the

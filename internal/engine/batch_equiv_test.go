@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sqltypes"
+)
+
+// The vectorized batch pipeline must be observationally identical to
+// the row-at-a-time pipeline: same result rows, same monitor tuple
+// counts, same EXPLAIN ANALYZE per-operator actuals. These tests drive
+// both paths through the public session surface and compare.
+
+// runBothModes executes sql once in row mode and once in batch mode on
+// the same session (so the second run hits the plan cache — the two
+// executions share one compiled plan, exercising exactly the two open
+// paths).
+func runBothModes(t *testing.T, s *Session, sql string) (rowRes, batchRes *Result) {
+	t.Helper()
+	s.SetBatchExec(false)
+	rowRes = mustExec(t, s, sql)
+	s.SetBatchExec(true)
+	batchRes = mustExec(t, s, sql)
+	return rowRes, batchRes
+}
+
+// canonRows renders each row as its order-preserving key encoding, a
+// canonical comparable form.
+func canonRows(rows []sqltypes.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = string(sqltypes.EncodeKey(nil, r...))
+	}
+	return out
+}
+
+// assertSameRows compares result sets: exact sequence when the query
+// fixes an order, multiset equality otherwise.
+func assertSameRows(t *testing.T, sql string, rowRes, batchRes *Result) {
+	t.Helper()
+	a, b := canonRows(rowRes.Rows), canonRows(batchRes.Rows)
+	if !strings.Contains(strings.ToUpper(sql), "ORDER BY") {
+		sort.Strings(a)
+		sort.Strings(b)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("%s:\nrow path %d rows, batch path %d rows", sql, len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s:\nrow %d differs:\nrow path:   %q\nbatch path: %q", sql, i, a[i], b[i])
+		}
+	}
+}
+
+// TestQuickBatchRowEquivalence is the property suite: for each seed a
+// fresh randomized pair of tables (sizes, values, NULL density all
+// seed-derived) and a set of randomized queries over them — filters,
+// grouped aggregates, joins, DISTINCT, ORDER BY, LIMIT — run through
+// both pipelines and compared.
+func TestQuickBatchRowEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	db := testDB(t)
+	s := db.NewSession()
+	defer s.Close()
+
+	round := 0
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		round++
+		t1 := fmt.Sprintf("ql%d", round)
+		t2 := fmt.Sprintf("qr%d", round)
+		mustExec(t, s, fmt.Sprintf(
+			"CREATE TABLE %s (id INTEGER PRIMARY KEY, a INTEGER, b FLOAT, c VARCHAR(16))", t1))
+		mustExec(t, s, fmt.Sprintf(
+			"CREATE TABLE %s (k INTEGER PRIMARY KEY, a INTEGER, d VARCHAR(16))", t2))
+
+		n1 := 100 + rng.Intn(300)
+		n2 := 20 + rng.Intn(80)
+		tags := []string{"'red'", "'green'", "'blue'", "'cyan'", "NULL"}
+		var vals []string
+		for i := 0; i < n1; i++ {
+			a := "NULL"
+			if rng.Intn(10) > 0 {
+				a = fmt.Sprint(rng.Intn(50))
+			}
+			vals = append(vals, fmt.Sprintf("(%d, %s, %.2f, %s)",
+				i, a, rng.Float64()*100, tags[rng.Intn(len(tags))]))
+		}
+		mustExec(t, s, fmt.Sprintf("INSERT INTO %s (id, a, b, c) VALUES %s", t1, strings.Join(vals, ", ")))
+		vals = vals[:0]
+		for i := 0; i < n2; i++ {
+			vals = append(vals, fmt.Sprintf("(%d, %d, 'd%02d')", i, rng.Intn(50), rng.Intn(30)))
+		}
+		mustExec(t, s, fmt.Sprintf("INSERT INTO %s (k, a, d) VALUES %s", t2, strings.Join(vals, ", ")))
+
+		queries := []string{
+			fmt.Sprintf("SELECT * FROM %s WHERE a < %d", t1, rng.Intn(60)),
+			fmt.Sprintf("SELECT c, COUNT(*), SUM(b), MIN(a) FROM %s WHERE a >= %d GROUP BY c", t1, rng.Intn(40)),
+			fmt.Sprintf("SELECT id, a + 1 FROM %s WHERE b > %.2f ORDER BY id", t1, rng.Float64()*80),
+			fmt.Sprintf("SELECT DISTINCT c FROM %s WHERE a > %d", t1, rng.Intn(40)),
+			fmt.Sprintf("SELECT l.id, r.d FROM %s l JOIN %s r ON l.a = r.a WHERE r.k < %d", t1, t2, rng.Intn(80)),
+			fmt.Sprintf("SELECT id FROM %s ORDER BY b LIMIT %d", t1, 1+rng.Intn(20)),
+			fmt.Sprintf("SELECT COUNT(*), AVG(b) FROM %s", t1),
+			fmt.Sprintf("SELECT a, COUNT(*) FROM %s GROUP BY a HAVING COUNT(*) > %d", t1, rng.Intn(3)),
+		}
+		for _, q := range queries {
+			rowRes, batchRes := runBothModes(t, s, q)
+			assertSameRows(t, q, rowRes, batchRes)
+		}
+		mustExec(t, s, "DROP TABLE "+t1)
+		mustExec(t, s, "DROP TABLE "+t2)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var (
+	actualsRe = regexp.MustCompile(`actual rows=(\d+) time=\S+ nexts=(\d+)`)
+	tuplesRe  = regexp.MustCompile(`tuples=(\d+)`)
+)
+
+// analyzeCounts strips an EXPLAIN ANALYZE result down to its exact
+// per-operator (rows, nexts) pairs plus the statement tuple count —
+// everything that must not depend on the execution mode.
+func analyzeCounts(t *testing.T, res *Result) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range res.Rows {
+		line := r[0].S
+		if m := actualsRe.FindStringSubmatch(line); m != nil {
+			fmt.Fprintf(&b, "rows=%s nexts=%s\n", m[1], m[2])
+		}
+		if m := tuplesRe.FindStringSubmatch(line); m != nil {
+			fmt.Fprintf(&b, "tuples=%s\n", m[1])
+		}
+	}
+	if b.Len() == 0 {
+		t.Fatalf("no actuals found in EXPLAIN ANALYZE output")
+	}
+	return b.String()
+}
+
+// TestExplainAnalyzeCountsMatchBatch pins the tracing exactness
+// invariant: per-operator actual rows and Next calls, and the
+// monitor's actual-cost tuple counter, are identical in both modes.
+func TestExplainAnalyzeCountsMatchBatch(t *testing.T) {
+	db := testDB(t)
+	s := db.NewSession()
+	defer s.Close()
+	setupPeople(t, s)
+
+	queries := []string{
+		"SELECT name FROM people WHERE city = 'berlin'",
+		"SELECT city, COUNT(*), SUM(age) FROM people GROUP BY city",
+		"SELECT city, AVG(age) FROM people WHERE age < 40 GROUP BY city HAVING COUNT(*) > 10",
+		"SELECT p.name, q.city FROM people p JOIN people q ON p.id = q.id WHERE p.age < 30",
+		"SELECT name FROM people ORDER BY age LIMIT 10",
+		"SELECT DISTINCT city FROM people WHERE age > 25",
+		"SELECT COUNT(*) FROM people",
+	}
+	for _, q := range queries {
+		rowRes, batchRes := runBothModes(t, s, "EXPLAIN ANALYZE "+q)
+		rowC, batchC := analyzeCounts(t, rowRes), analyzeCounts(t, batchRes)
+		if rowC != batchC {
+			t.Errorf("%s:\nrow-path actuals:\n%sbatch-path actuals:\n%s", q, rowC, batchC)
+		}
+	}
+
+	// The traces also landed in the monitor ring: the last two must
+	// agree span by span on rows and calls.
+	traces := db.Monitor().SnapshotTraces()
+	if len(traces) < 2 {
+		t.Fatalf("monitor holds %d traces", len(traces))
+	}
+	a, b := traces[len(traces)-2], traces[len(traces)-1]
+	if len(a.Spans) != len(b.Spans) {
+		t.Fatalf("span count differs: %d vs %d", len(a.Spans), len(b.Spans))
+	}
+	for i := range a.Spans {
+		if a.Spans[i].Rows != b.Spans[i].Rows || a.Spans[i].Calls != b.Spans[i].Calls {
+			t.Errorf("span %d (%s): row path rows=%d calls=%d, batch path rows=%d calls=%d",
+				i, a.Spans[i].Op, a.Spans[i].Rows, a.Spans[i].Calls, b.Spans[i].Rows, b.Spans[i].Calls)
+		}
+	}
+}
+
+// TestBatchConcurrentSessions hammers the batch pipeline from many
+// sessions at once (run under -race in CI): per-session batch state —
+// scan batches, decode arenas, expression scratch — must never be
+// shared across executions.
+func TestBatchConcurrentSessions(t *testing.T) {
+	db := testDB(t)
+	setup := db.NewSession()
+	setupPeople(t, setup)
+	setup.Close()
+
+	const goroutines = 8
+	const iters = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := db.NewSession()
+			defer s.Close()
+			for i := 0; i < iters; i++ {
+				id := (g*iters + i) % peopleRows
+				res, err := s.Exec(fmt.Sprintf("SELECT name FROM people WHERE id = %d", id))
+				if err == nil && (len(res.Rows) != 1 || res.Rows[0][0].S != fmt.Sprintf("person%04d", id)) {
+					err = fmt.Errorf("point select %d: got %v", id, res.Rows)
+				}
+				if err == nil {
+					res, err = s.Exec("SELECT city, COUNT(*) FROM people WHERE age < 40 GROUP BY city")
+					if err == nil && len(res.Rows) != 3 {
+						err = fmt.Errorf("agg returned %d groups", len(res.Rows))
+					}
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

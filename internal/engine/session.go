@@ -35,7 +35,16 @@ type Session struct {
 	id     int64
 	closed bool
 	inTxn  bool
+	// batchExec selects the vectorized batch pipeline for SELECTs
+	// (default). The row-at-a-time path is kept for comparison and as
+	// the reference semantics; both produce identical results, tuple
+	// counts and trace counts.
+	batchExec bool
 }
+
+// SetBatchExec switches the session between the vectorized batch
+// execution pipeline (the default) and the row-at-a-time pipeline.
+func (s *Session) SetBatchExec(on bool) { s.batchExec = on }
 
 // Begin starts a transaction: locks are held until Commit or Rollback.
 func (s *Session) Begin() { s.inTxn = true }
@@ -63,7 +72,24 @@ func (db *DB) NewSession() *Session {
 			break
 		}
 	}
-	return &Session{db: db, id: db.nextSession.Add(1)}
+	return &Session{db: db, id: db.nextSession.Add(1), batchExec: true}
+}
+
+// runPrepared executes a compiled plan in the session's execution mode
+// and returns the materialized result rows.
+func (s *Session) runPrepared(prep *executor.Prepared, ctx *executor.Ctx) ([]sqltypes.Row, error) {
+	if s.batchExec {
+		it, err := prep.RunBatch(executorStorage{s.db}, ctx)
+		if err != nil {
+			return nil, err
+		}
+		return executor.CollectBatches(it)
+	}
+	it, err := prep.Run(executorStorage{s.db}, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return executor.Collect(it)
 }
 
 // Close releases the session.
@@ -203,11 +229,7 @@ func (s *Session) execSelect(st *sqlparser.SelectStmt, parsed *sqlparser.ParseRe
 
 	ctx := executor.Ctx{Params: parsed.Params}
 	io0 := db.pool.Stats()
-	it, err := entry.prep.Run(executorStorage{db}, &ctx)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := executor.Collect(it)
+	rows, err := s.runPrepared(entry.prep, &ctx)
 	io1 := db.pool.Stats()
 	ioDelta := (io1.Misses - io0.Misses) + (io1.DiskWrite - io0.DiskWrite)
 	h.Finish(ctx.Tuples, ioDelta, int64(len(rows)), err)
@@ -273,11 +295,7 @@ func (s *Session) execExplainAnalyze(sql string, st *sqlparser.ExplainStmt, pars
 	ctx := executor.Ctx{Params: parsed.Params, Trace: tr}
 	io0 := db.pool.Stats()
 	start := time.Now()
-	it, err := prep.Run(executorStorage{db}, &ctx)
-	if err != nil {
-		return nil, err
-	}
-	rows, err := executor.Collect(it)
+	rows, err := s.runPrepared(prep, &ctx)
 	wall := time.Since(start)
 	io1 := db.pool.Stats()
 	ioDelta := (io1.Misses - io0.Misses) + (io1.DiskWrite - io0.DiskWrite)

@@ -230,6 +230,44 @@ func (r *heapRowIter) Next() (sqltypes.Row, bool, error) {
 
 func (r *heapRowIter) Close() error { return nil }
 
+// heapBatchRowIter adapts the heap's page-at-a-time batch scan to the
+// executor's RowBatchIter. Each record batch is decoded into a reused
+// value arena; the arena (and the record batch under it) is recycled on
+// the next call, which is exactly the executor's batch ownership
+// contract.
+type heapBatchRowIter struct {
+	it     *storage.HeapBatchIter
+	rb     storage.RecBatch
+	arena  []sqltypes.Value
+	bounds []int // bounds[i]..bounds[i+1] delimit row i in arena
+}
+
+func (r *heapBatchRowIter) NextBatch(b *executor.Batch) (bool, error) {
+	b.Reset()
+	ok, err := r.it.NextBatchMax(&r.rb, executor.BatchSize)
+	if err != nil || !ok {
+		return false, err
+	}
+	r.arena = r.arena[:0]
+	r.bounds = append(r.bounds[:0], 0)
+	for _, rec := range r.rb.Recs {
+		if r.arena, err = sqltypes.AppendDecodedRow(r.arena, rec); err != nil {
+			return false, err
+		}
+		r.bounds = append(r.bounds, len(r.arena))
+	}
+	// Carve the row slices only after every decode: AppendDecodedRow may
+	// move the arena while growing it.
+	for i := 0; i+1 < len(r.bounds); i++ {
+		lo, hi := r.bounds[i], r.bounds[i+1]
+		b.Rows = append(b.Rows, sqltypes.Row(r.arena[lo:hi:hi]))
+	}
+	return true, nil
+}
+
+// Close releases the page pins backing the last record batch.
+func (r *heapBatchRowIter) Close() error { return r.it.Close() }
+
 // btreeFetchIter walks a B-Tree key range whose values are TIDs and
 // fetches the base rows from the heap.
 type btreeFetchIter struct {
@@ -272,6 +310,21 @@ func (s executorStorage) ScanTable(name string) (executor.RowIter, error) {
 		return nil, fmt.Errorf("engine: unknown table %q", name)
 	}
 	return &heapRowIter{it: h.heap.Iter()}, nil
+}
+
+// ScanTableBatch implements executor.BatchStorage: base tables scan
+// page-at-a-time through the heap batch iterator; virtual table
+// snapshots are already materialized, so the slice iterator serves
+// them in both modes.
+func (s executorStorage) ScanTableBatch(name string) (executor.RowBatchIter, error) {
+	if vt := s.db.virtualTable(name); vt != nil {
+		return &executor.SliceRowIter{Rows: vt.provider()}, nil
+	}
+	h := s.db.handle(name)
+	if h == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", name)
+	}
+	return &heapBatchRowIter{it: h.heap.ScanBatch()}, nil
 }
 
 // IndexRange implements executor.Storage.

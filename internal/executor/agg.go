@@ -166,58 +166,63 @@ func (c *aggC) finalize(st *aggState) (sqltypes.Row, error) {
 	return row, nil
 }
 
-func (c *aggC) open(rt *runtime) (RowIter, error) {
-	in, err := c.input.open(rt)
-	if err != nil {
-		return nil, err
+// aggRun is the per-execution accumulation state shared by the row and
+// batch paths. The group-key buffer and group-value scratch are reused
+// across rows; group values are copied out when a new group is born.
+type aggRun struct {
+	c         *aggC
+	env       expr.Env
+	groups    map[string]*aggState
+	order     []string // deterministic output: first-seen order
+	keyBuf    []byte
+	groupVals sqltypes.Row // scratch, copied on new group
+	sawRow    bool
+}
+
+func (c *aggC) newRun(rt *runtime) *aggRun {
+	return &aggRun{
+		c:         c,
+		env:       expr.Env{Params: rt.ctx.Params},
+		groups:    map[string]*aggState{},
+		groupVals: make(sqltypes.Row, len(c.groupBy)),
 	}
-	defer in.Close()
-	env := expr.Env{Params: rt.ctx.Params}
-	groups := map[string]*aggState{}
-	var order []string // deterministic output: first-seen order
-	sawRow := false
-	for {
-		row, ok, err := in.Next()
+}
+
+func (r *aggRun) addRow(row sqltypes.Row) error {
+	c := r.c
+	r.sawRow = true
+	r.env.Row = row
+	r.keyBuf = r.keyBuf[:0]
+	for i, g := range c.groupBy {
+		v, err := g.Eval(&r.env)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if !ok {
-			break
-		}
-		sawRow = true
-		rt.ctx.Tuples++
-		env.Row = row
-		groupVals := make(sqltypes.Row, len(c.groupBy))
-		var keyBuf []byte
-		for i, g := range c.groupBy {
-			v, err := g.Eval(&env)
-			if err != nil {
-				return nil, err
-			}
-			groupVals[i] = v
-			keyBuf = sqltypes.EncodeKey(keyBuf, v)
-		}
-		key := string(keyBuf)
-		st := groups[key]
-		if st == nil {
-			st = c.newState(groupVals)
-			groups[key] = st
-			order = append(order, key)
-		}
-		if err := c.accumulate(st, &env); err != nil {
-			return nil, err
-		}
+		r.groupVals[i] = v
+		r.keyBuf = sqltypes.EncodeKey(r.keyBuf, v)
 	}
+	key := string(r.keyBuf)
+	st := r.groups[key]
+	if st == nil {
+		st = c.newState(append(sqltypes.Row(nil), r.groupVals...))
+		r.groups[key] = st
+		r.order = append(r.order, key)
+	}
+	return c.accumulate(st, &r.env)
+}
+
+// rows finalizes every group (applying HAVING) in first-seen order.
+func (r *aggRun) rows() ([]sqltypes.Row, error) {
+	c := r.c
 	// A global aggregate over zero rows still yields one row.
-	if !sawRow && len(c.groupBy) == 0 {
-		st := c.newState(nil)
-		groups[""] = st
-		order = append(order, "")
+	if !r.sawRow && len(c.groupBy) == 0 {
+		r.groups[""] = c.newState(nil)
+		r.order = append(r.order, "")
 	}
-	rows := make([]sqltypes.Row, 0, len(order))
-	henv := expr.Env{Params: rt.ctx.Params}
-	for _, key := range order {
-		row, err := c.finalize(groups[key])
+	rows := make([]sqltypes.Row, 0, len(r.order))
+	henv := expr.Env{Params: r.env.Params}
+	for _, key := range r.order {
+		row, err := c.finalize(r.groups[key])
 		if err != nil {
 			return nil, err
 		}
@@ -233,7 +238,66 @@ func (c *aggC) open(rt *runtime) (RowIter, error) {
 		}
 		rows = append(rows, row)
 	}
-	return &sliceIter{rows: rows}, nil
+	return rows, nil
+}
+
+func (c *aggC) open(rt *runtime) (RowIter, error) {
+	in, err := c.input.open(rt)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	run := c.newRun(rt)
+	for {
+		row, ok, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rt.ctx.Tuples++
+		if err := run.addRow(row); err != nil {
+			return nil, err
+		}
+	}
+	rows, err := run.rows()
+	if err != nil {
+		return nil, err
+	}
+	return &SliceRowIter{Rows: rows}, nil
+}
+
+// openBatch consumes the input batch-at-a-time (aggregation is
+// materializing, so the output is a slice iterator either way).
+func (c *aggC) openBatch(rt *runtime) (RowBatchIter, error) {
+	in, err := openBatchOf(c.input, rt)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	run := c.newRun(rt)
+	var b Batch
+	for {
+		ok, err := in.NextBatch(&b)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		rt.ctx.Tuples += int64(len(b.Rows))
+		for _, row := range b.Rows {
+			if err := run.addRow(row); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rows, err := run.rows()
+	if err != nil {
+		return nil, err
+	}
+	return &SliceRowIter{Rows: rows}, nil
 }
 
 type projectC struct {
@@ -291,6 +355,61 @@ func (it *projectIter) Next() (sqltypes.Row, bool, error) {
 
 func (it *projectIter) Close() error { return it.in.Close() }
 
+func (c *projectC) openBatch(rt *runtime) (RowBatchIter, error) {
+	in, err := openBatchOf(c.input, rt)
+	if err != nil {
+		return nil, err
+	}
+	return &projectBatchIter{in: in, exprs: c.exprs,
+		env: expr.Env{Params: rt.ctx.Params}, ctx: rt.ctx,
+		cols: make([][]sqltypes.Value, len(c.exprs))}, nil
+}
+
+// projectBatchIter evaluates each output expression column-at-a-time
+// with expr.EvalBatch, then gathers the columns into row-major output
+// rows carved from one reused backing slice. Tuple accounting matches
+// projectIter: every input row counts.
+type projectBatchIter struct {
+	in    RowBatchIter
+	exprs []expr.Compiled
+	env   expr.Env
+	ctx   *Ctx
+	raw   Batch              // input scratch
+	cols  [][]sqltypes.Value // per-expression column scratch
+	vals  []sqltypes.Value   // row-major output backing
+}
+
+func (it *projectBatchIter) NextBatch(b *Batch) (bool, error) {
+	b.Reset()
+	ok, err := it.in.NextBatch(&it.raw)
+	if err != nil || !ok {
+		return false, err
+	}
+	n := len(it.raw.Rows)
+	it.ctx.Tuples += int64(n)
+	for j, e := range it.exprs {
+		it.cols[j] = it.cols[j][:0]
+		if it.cols[j], err = expr.EvalBatch(e, &it.env, it.raw.Rows, it.cols[j]); err != nil {
+			return false, err
+		}
+	}
+	w := len(it.exprs)
+	if cap(it.vals) < n*w {
+		it.vals = make([]sqltypes.Value, n*w)
+	}
+	it.vals = it.vals[:n*w]
+	for i := 0; i < n; i++ {
+		out := it.vals[i*w : i*w+w : i*w+w]
+		for j := 0; j < w; j++ {
+			out[j] = it.cols[j][i]
+		}
+		b.Rows = append(b.Rows, sqltypes.Row(out))
+	}
+	return true, nil
+}
+
+func (it *projectBatchIter) Close() error { return it.in.Close() }
+
 type sortC struct {
 	input compiled
 	keys  []optimizer.SortKey
@@ -314,6 +433,27 @@ func (c *sortC) open(rt *runtime) (RowIter, error) {
 		return nil, err
 	}
 	rt.ctx.Tuples += int64(len(rows))
+	c.sortRows(rows)
+	return &SliceRowIter{Rows: rows}, nil
+}
+
+// openBatch consumes the input batch-at-a-time; CollectBatches copies
+// the rows out of the transient batches before sorting.
+func (c *sortC) openBatch(rt *runtime) (RowBatchIter, error) {
+	in, err := openBatchOf(c.input, rt)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := CollectBatches(in)
+	if err != nil {
+		return nil, err
+	}
+	rt.ctx.Tuples += int64(len(rows))
+	c.sortRows(rows)
+	return &SliceRowIter{Rows: rows}, nil
+}
+
+func (c *sortC) sortRows(rows []sqltypes.Row) {
 	sort.SliceStable(rows, func(i, j int) bool {
 		for _, k := range c.keys {
 			cmp := sqltypes.Compare(rows[i][k.Col], rows[j][k.Col])
@@ -327,7 +467,6 @@ func (c *sortC) open(rt *runtime) (RowIter, error) {
 		}
 		return false
 	})
-	return &sliceIter{rows: rows}, nil
 }
 
 type distinctC struct{ input compiled }
@@ -457,3 +596,28 @@ func (it *stripIter) Next() (sqltypes.Row, bool, error) {
 }
 
 func (it *stripIter) Close() error { return it.in.Close() }
+
+func (c *stripC) openBatch(rt *runtime) (RowBatchIter, error) {
+	in, err := openBatchOf(c.input, rt)
+	if err != nil {
+		return nil, err
+	}
+	return &stripBatchIter{in: in, keep: c.keep}, nil
+}
+
+// stripBatchIter reslices each row header in place; the rows' backing
+// arrays are untouched, so the producer's batch stays intact.
+type stripBatchIter struct {
+	in   RowBatchIter
+	keep int
+}
+
+func (it *stripBatchIter) NextBatch(b *Batch) (bool, error) {
+	ok, err := it.in.NextBatch(b)
+	for i, row := range b.Rows {
+		b.Rows[i] = row[:it.keep]
+	}
+	return ok, err
+}
+
+func (it *stripBatchIter) Close() error { return it.in.Close() }

@@ -126,8 +126,10 @@ func (cp *compiler) compile(n optimizer.Node, depth int) (compiled, error) {
 	return &tracedC{inner: inner, id: id}, nil
 }
 
-// SliceRowIter iterates a materialized row slice; the engine uses it
-// for virtual tables.
+// SliceRowIter iterates a materialized row slice. The engine uses it
+// for virtual tables; materializing operators (sort, agg) use it for
+// their outputs. It serves both the row and the batch interface — the
+// rows are stable, so batches may alias them.
 type SliceRowIter struct {
 	Rows []sqltypes.Row
 	pos  int
@@ -143,25 +145,20 @@ func (it *SliceRowIter) Next() (sqltypes.Row, bool, error) {
 	return r, true, nil
 }
 
+// NextBatch implements RowBatchIter.
+func (it *SliceRowIter) NextBatch(b *Batch) (bool, error) {
+	b.Reset()
+	end := it.pos + BatchSize
+	if end > len(it.Rows) {
+		end = len(it.Rows)
+	}
+	b.Rows = append(b.Rows, it.Rows[it.pos:end]...)
+	it.pos = end
+	return len(b.Rows) > 0, nil
+}
+
 // Close implements RowIter.
 func (it *SliceRowIter) Close() error { return nil }
-
-// sliceIter iterates a materialized row slice.
-type sliceIter struct {
-	rows []sqltypes.Row
-	pos  int
-}
-
-func (it *sliceIter) Next() (sqltypes.Row, bool, error) {
-	if it.pos >= len(it.rows) {
-		return nil, false, nil
-	}
-	r := it.rows[it.pos]
-	it.pos++
-	return r, true, nil
-}
-
-func (it *sliceIter) Close() error { return nil }
 
 // Collect drains an iterator into a slice and closes it.
 func Collect(it RowIter) ([]sqltypes.Row, error) {

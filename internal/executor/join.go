@@ -46,53 +46,93 @@ func (cp *compiler) compileHashJoin(n *optimizer.HashJoin, depth int) (compiled,
 	return c, nil
 }
 
-// joinKey encodes the key values; ok=false if any is NULL (SQL equi
-// joins never match on NULL).
-func joinKey(env *expr.Env, keys []expr.Compiled) (string, bool, error) {
-	var buf []byte
+// joinKey encodes the key values into buf, reusing its capacity, and
+// returns the extended buffer; ok=false if any value is NULL (SQL equi
+// joins never match on NULL). Callers keep one buffer per execution so
+// key encoding is allocation-free after the first row.
+func joinKey(buf []byte, env *expr.Env, keys []expr.Compiled) ([]byte, bool, error) {
+	buf = buf[:0]
 	for _, k := range keys {
 		v, err := k.Eval(env)
 		if err != nil {
-			return "", false, err
+			return buf, false, err
 		}
 		if v.IsNull() {
-			return "", false, nil
+			return buf, false, nil
 		}
 		buf = sqltypes.EncodeKey(buf, v)
 	}
-	return string(buf), true, nil
+	return buf, true, nil
 }
 
-func (c *hashJoinC) open(rt *runtime) (RowIter, error) {
-	// Build phase on the right input.
+// buildHashTable drains the build side into the key→rows table. In
+// batch mode build rows are copied into an arena (batch producers
+// reuse row backing); row iterators yield stable rows, stored as-is.
+func (c *hashJoinC) buildHashTable(rt *runtime, batch bool) (map[string][]sqltypes.Row, error) {
+	table := map[string][]sqltypes.Row{}
+	env := expr.Env{Params: rt.ctx.Params}
+	var keyBuf []byte
+	addRow := func(row sqltypes.Row) error {
+		env.Row = row
+		var ok bool
+		var err error
+		keyBuf, ok, err = joinKey(keyBuf, &env, c.rightKeys)
+		if err != nil {
+			return err
+		}
+		if ok {
+			table[string(keyBuf)] = append(table[string(keyBuf)], row)
+		}
+		return nil
+	}
+	if batch {
+		rit, err := openBatchOf(c.right, rt)
+		if err != nil {
+			return nil, err
+		}
+		defer rit.Close()
+		var arena rowArena
+		var b Batch
+		for {
+			ok, err := rit.NextBatch(&b)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return table, nil
+			}
+			rt.ctx.Tuples += int64(len(b.Rows))
+			for _, row := range b.Rows {
+				if err := addRow(arena.clone(row)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
 	rit, err := c.right.open(rt)
 	if err != nil {
 		return nil, err
 	}
-	table := map[string][]sqltypes.Row{}
-	env := expr.Env{Params: rt.ctx.Params}
+	defer rit.Close()
 	for {
 		row, ok, err := rit.Next()
 		if err != nil {
-			rit.Close()
 			return nil, err
 		}
 		if !ok {
-			break
+			return table, nil
 		}
 		rt.ctx.Tuples++
-		env.Row = row
-		key, ok, err := joinKey(&env, c.rightKeys)
-		if err != nil {
-			rit.Close()
+		if err := addRow(row); err != nil {
 			return nil, err
 		}
-		if !ok {
-			continue
-		}
-		table[key] = append(table[key], row)
 	}
-	if err := rit.Close(); err != nil {
+}
+
+func (c *hashJoinC) open(rt *runtime) (RowIter, error) {
+	// Build phase on the right input.
+	table, err := c.buildHashTable(rt, false)
+	if err != nil {
 		return nil, err
 	}
 	lit, err := c.left.open(rt)
@@ -106,6 +146,26 @@ func (c *hashJoinC) open(rt *runtime) (RowIter, error) {
 	return maybeFilter(out, c.residual, rt), nil
 }
 
+// openBatch runs both join inputs batch-at-a-time: the build side is
+// drained directly, the probe side feeds the row-at-a-time probe loop
+// through BatchToRows (probing is inherently row-at-a-time here), and
+// the output is re-batched. All tuple counts match open exactly.
+func (c *hashJoinC) openBatch(rt *runtime) (RowBatchIter, error) {
+	table, err := c.buildHashTable(rt, true)
+	if err != nil {
+		return nil, err
+	}
+	lit, err := openBatchOf(c.left, rt)
+	if err != nil {
+		return nil, err
+	}
+	out := RowIter(&hashProbeIter{
+		left: BatchToRows(lit), table: table, keys: c.leftKeys,
+		env: expr.Env{Params: rt.ctx.Params}, ctx: rt.ctx,
+	})
+	return RowsToBatch(maybeFilter(out, c.residual, rt)), nil
+}
+
 type hashProbeIter struct {
 	left    RowIter
 	table   map[string][]sqltypes.Row
@@ -115,6 +175,8 @@ type hashProbeIter struct {
 	current sqltypes.Row
 	matches []sqltypes.Row
 	mpos    int
+	keyBuf  []byte
+	arena   rowArena
 }
 
 func (it *hashProbeIter) Next() (sqltypes.Row, bool, error) {
@@ -123,10 +185,7 @@ func (it *hashProbeIter) Next() (sqltypes.Row, bool, error) {
 			r := it.matches[it.mpos]
 			it.mpos++
 			it.ctx.Tuples++
-			combined := make(sqltypes.Row, 0, len(it.current)+len(r))
-			combined = append(combined, it.current...)
-			combined = append(combined, r...)
-			return combined, true, nil
+			return it.arena.combine(it.current, r), true, nil
 		}
 		row, ok, err := it.left.Next()
 		if err != nil || !ok {
@@ -134,7 +193,7 @@ func (it *hashProbeIter) Next() (sqltypes.Row, bool, error) {
 		}
 		it.ctx.Tuples++
 		it.env.Row = row
-		key, ok, err := joinKey(&it.env, it.keys)
+		it.keyBuf, ok, err = joinKey(it.keyBuf, &it.env, it.keys)
 		if err != nil {
 			return nil, false, err
 		}
@@ -142,7 +201,7 @@ func (it *hashProbeIter) Next() (sqltypes.Row, bool, error) {
 			continue
 		}
 		it.current = row
-		it.matches = it.table[key]
+		it.matches = it.table[string(it.keyBuf)]
 		it.mpos = 0
 	}
 }
@@ -193,6 +252,7 @@ type loopJoinIter struct {
 	ctx     *Ctx
 	current sqltypes.Row
 	rpos    int
+	arena   rowArena
 }
 
 func (it *loopJoinIter) Next() (sqltypes.Row, bool, error) {
@@ -201,10 +261,7 @@ func (it *loopJoinIter) Next() (sqltypes.Row, bool, error) {
 			r := it.rights[it.rpos]
 			it.rpos++
 			it.ctx.Tuples++
-			combined := make(sqltypes.Row, 0, len(it.current)+len(r))
-			combined = append(combined, it.current...)
-			combined = append(combined, r...)
-			return combined, true, nil
+			return it.arena.combine(it.current, r), true, nil
 		}
 		row, ok, err := it.left.Next()
 		if err != nil || !ok {
@@ -263,6 +320,7 @@ type indexJoinIter struct {
 	env     expr.Env
 	current sqltypes.Row
 	inner   RowIter
+	arena   rowArena
 }
 
 func (it *indexJoinIter) Next() (sqltypes.Row, bool, error) {
@@ -274,10 +332,7 @@ func (it *indexJoinIter) Next() (sqltypes.Row, bool, error) {
 			}
 			if ok {
 				it.rt.ctx.Tuples++
-				combined := make(sqltypes.Row, 0, len(it.current)+len(r))
-				combined = append(combined, it.current...)
-				combined = append(combined, r...)
-				return combined, true, nil
+				return it.arena.combine(it.current, r), true, nil
 			}
 			it.inner.Close()
 			it.inner = nil

@@ -60,6 +60,72 @@ func maybeFilter(in RowIter, pred expr.Compiled, rt *runtime) RowIter {
 	return &filterIter{in: in, pred: pred, env: expr.Env{Params: rt.ctx.Params}, ctx: rt.ctx}
 }
 
+// BatchStorage is optionally implemented by Storage backends that can
+// scan base tables a batch at a time (page-at-a-time page pinning plus
+// arena row decoding in the engine adapter). Sequential scans use it
+// when present and fall back to row-at-a-time ScanTable otherwise.
+type BatchStorage interface {
+	ScanTableBatch(name string) (RowBatchIter, error)
+}
+
+// filterBatchIter applies a predicate batch-at-a-time: the predicate
+// column is evaluated with expr.EvalBatch and passing rows are
+// compacted into the output batch (aliasing the input batch, which is
+// safe: the output is invalidated exactly when the input refills).
+// Tuple accounting matches filterIter: every input row counts.
+type filterBatchIter struct {
+	in   RowBatchIter
+	pred expr.Compiled
+	env  expr.Env
+	ctx  *Ctx
+	raw  Batch            // input scratch
+	vals []sqltypes.Value // predicate column scratch
+}
+
+func (it *filterBatchIter) NextBatch(b *Batch) (bool, error) {
+	b.Reset()
+	for {
+		ok, err := it.in.NextBatch(&it.raw)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return len(b.Rows) > 0, nil
+		}
+		it.ctx.Tuples += int64(len(it.raw.Rows))
+		it.vals = it.vals[:0]
+		it.vals, err = expr.EvalBatch(it.pred, &it.env, it.raw.Rows, it.vals)
+		if err != nil {
+			return false, err
+		}
+		for i, row := range it.raw.Rows {
+			if it.vals[i].Bool() {
+				b.Rows = append(b.Rows, row)
+			}
+		}
+		if len(b.Rows) > 0 {
+			return true, nil
+		}
+	}
+}
+
+func (it *filterBatchIter) Close() error { return it.in.Close() }
+
+// countingBatchIter counts tuples flowing through an unfiltered scan,
+// mirroring countingIter.
+type countingBatchIter struct {
+	in  RowBatchIter
+	ctx *Ctx
+}
+
+func (it *countingBatchIter) NextBatch(b *Batch) (bool, error) {
+	ok, err := it.in.NextBatch(b)
+	it.ctx.Tuples += int64(len(b.Rows))
+	return ok, err
+}
+
+func (it *countingBatchIter) Close() error { return it.in.Close() }
+
 type seqScanC struct {
 	table  string
 	filter expr.Compiled
@@ -82,6 +148,29 @@ func (c *seqScanC) open(rt *runtime) (RowIter, error) {
 		return &countingIter{in: it, ctx: rt.ctx}, nil
 	}
 	return maybeFilter(it, c.filter, rt), nil
+}
+
+// openBatch scans the table batch-at-a-time when the storage backend
+// supports it, applying the pushed-down filter vectorized. Otherwise
+// the row-at-a-time open is bridged, which keeps counts identical.
+func (c *seqScanC) openBatch(rt *runtime) (RowBatchIter, error) {
+	bs, ok := rt.st.(BatchStorage)
+	if !ok {
+		it, err := c.open(rt)
+		if err != nil {
+			return nil, err
+		}
+		return RowsToBatch(it), nil
+	}
+	bi, err := bs.ScanTableBatch(c.table)
+	if err != nil {
+		return nil, err
+	}
+	if c.filter == nil {
+		return &countingBatchIter{in: bi, ctx: rt.ctx}, nil
+	}
+	return &filterBatchIter{in: bi, pred: c.filter,
+		env: expr.Env{Params: rt.ctx.Params}, ctx: rt.ctx}, nil
 }
 
 // countingIter counts tuples flowing through an unfiltered scan.
@@ -198,7 +287,7 @@ func (c *indexScanC) open(rt *runtime) (RowIter, error) {
 		return nil, err
 	}
 	if !ok {
-		return &sliceIter{}, nil
+		return &SliceRowIter{}, nil
 	}
 	var it RowIter
 	if c.primary {

@@ -70,6 +70,43 @@ func (c *tracedC) open(rt *runtime) (RowIter, error) {
 	return &spanIter{in: it, sc: sc}, nil
 }
 
+// openBatch mirrors open for the batch path. Batch-native operators
+// get a spanBatchIter; row-only operators open row-at-a-time, are
+// counted by a spanIter exactly as in the row path, and are bridged
+// upward with RowsToBatch (outside the span wrapper, so the bridge is
+// never double-counted).
+func (c *tracedC) openBatch(rt *runtime) (RowBatchIter, error) {
+	tr := rt.ctx.Trace
+	bc, isBatch := c.inner.(batchCompiled)
+	if tr == nil {
+		if isBatch {
+			return bc.openBatch(rt)
+		}
+		it, err := c.inner.open(rt)
+		if err != nil {
+			return nil, err
+		}
+		return RowsToBatch(it), nil
+	}
+	sc := &tr.Counts[c.id]
+	if !isBatch {
+		t0 := time.Now()
+		it, err := c.inner.open(rt)
+		sc.Nanos += time.Since(t0).Nanoseconds()
+		if err != nil {
+			return nil, err
+		}
+		return RowsToBatch(&spanIter{in: it, sc: sc}), nil
+	}
+	t0 := time.Now()
+	bi, err := bc.openBatch(rt)
+	sc.Nanos += time.Since(t0).Nanoseconds()
+	if err != nil {
+		return nil, err
+	}
+	return &spanBatchIter{in: bi, sc: sc}, nil
+}
+
 type spanIter struct {
 	in RowIter
 	sc *SpanCount
@@ -87,6 +124,33 @@ func (it *spanIter) Next() (sqltypes.Row, bool, error) {
 }
 
 func (it *spanIter) Close() error { return it.in.Close() }
+
+// spanBatchIter keeps batch-path actuals exactly equal to the row
+// path's: a delivered batch of n rows is what n row-at-a-time Next
+// calls would have been (n rows, n calls), and exhaustion is the final
+// not-ok call. Batch subtrees are always fully drained (Limit, the one
+// early-terminating operator, runs row-only), so a traced operator
+// records the same N rows and N+1 calls either way.
+type spanBatchIter struct {
+	in RowBatchIter
+	sc *SpanCount
+}
+
+func (it *spanBatchIter) NextBatch(b *Batch) (bool, error) {
+	t0 := time.Now()
+	ok, err := it.in.NextBatch(b)
+	it.sc.Nanos += time.Since(t0).Nanoseconds()
+	if ok {
+		n := int64(len(b.Rows))
+		it.sc.Rows += n
+		it.sc.Calls += n
+	} else {
+		it.sc.Calls++
+	}
+	return ok, err
+}
+
+func (it *spanBatchIter) Close() error { return it.in.Close() }
 
 // spanMetaFor derives the static span description from a plan node,
 // matching Plan.String's vocabulary so EXPLAIN and EXPLAIN ANALYZE

@@ -41,9 +41,41 @@ func DecodeRow(b []byte) (Row, error) {
 		return nil, fmt.Errorf("sqltypes: implausible column count %d", n)
 	}
 	r := make(Row, n)
+	return r, decodeRowInto(r, b, off)
+}
+
+// AppendDecodedRow decodes a row previously produced by EncodeRow,
+// appending its values to arena and returning the extended arena. The
+// decoded row is arena[len(arena):] of the input. Batch scans decode
+// whole pages into one reused arena, so the per-row Row allocation of
+// DecodeRow is amortized away (text values still copy their bytes, as
+// DecodeRow does).
+func AppendDecodedRow(arena []Value, b []byte) ([]Value, error) {
+	n, off := binary.Uvarint(b)
+	if off <= 0 {
+		return arena, fmt.Errorf("sqltypes: corrupt row header")
+	}
+	if n > uint64(len(b)) { // cheap sanity bound: ≥1 byte per column
+		return arena, fmt.Errorf("sqltypes: implausible column count %d", n)
+	}
+	start := len(arena)
+	if need := start + int(n); need > cap(arena) {
+		grown := make([]Value, len(arena), need*2)
+		copy(grown, arena)
+		arena = grown
+	}
+	arena = arena[:start+int(n)]
+	if err := decodeRowInto(arena[start:], b, off); err != nil {
+		return arena[:start], err
+	}
+	return arena, nil
+}
+
+// decodeRowInto decodes len(r) column values starting at offset off.
+func decodeRowInto(r []Value, b []byte, off int) error {
 	for i := range r {
 		if off >= len(b) {
-			return nil, fmt.Errorf("sqltypes: truncated row at column %d", i)
+			return fmt.Errorf("sqltypes: truncated row at column %d", i)
 		}
 		t := Type(b[off])
 		off++
@@ -53,29 +85,29 @@ func DecodeRow(b []byte) (Row, error) {
 		case Int:
 			v, n := binary.Varint(b[off:])
 			if n <= 0 {
-				return nil, fmt.Errorf("sqltypes: corrupt int at column %d", i)
+				return fmt.Errorf("sqltypes: corrupt int at column %d", i)
 			}
 			off += n
 			r[i] = NewInt(v)
 		case Float:
 			if off+8 > len(b) {
-				return nil, fmt.Errorf("sqltypes: corrupt float at column %d", i)
+				return fmt.Errorf("sqltypes: corrupt float at column %d", i)
 			}
 			r[i] = NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b[off:])))
 			off += 8
 		case Text:
 			l, n := binary.Uvarint(b[off:])
 			if n <= 0 || off+n+int(l) > len(b) {
-				return nil, fmt.Errorf("sqltypes: corrupt text at column %d", i)
+				return fmt.Errorf("sqltypes: corrupt text at column %d", i)
 			}
 			off += n
 			r[i] = NewText(string(b[off : off+int(l)]))
 			off += int(l)
 		default:
-			return nil, fmt.Errorf("sqltypes: unknown type tag %d at column %d", t, i)
+			return fmt.Errorf("sqltypes: unknown type tag %d at column %d", t, i)
 		}
 	}
-	return r, nil
+	return nil
 }
 
 // Key-encoding type tags, chosen so that encoded byte strings sort in

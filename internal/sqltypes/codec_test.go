@@ -117,3 +117,51 @@ func sign(x int) int {
 	}
 	return 0
 }
+
+// TestAppendDecodedRowMatchesDecodeRow asserts the arena decoder
+// produces exactly what DecodeRow produces, across growth boundaries.
+func TestAppendDecodedRowMatchesDecodeRow(t *testing.T) {
+	rows := []Row{
+		{NewInt(1), NewText("alpha"), NewFloat(2.5), NullValue()},
+		{},
+		{NewText(""), NewInt(-1 << 60)},
+		{NewFloat(-0.0), NewText("with\x00zero")},
+	}
+	arena := make([]Value, 0, 2) // force at least one growth
+	var got []Row
+	var bounds [][2]int
+	for _, r := range rows {
+		rec := EncodeRow(nil, r)
+		start := len(arena)
+		var err error
+		arena, err = AppendDecodedRow(arena, rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, [2]int{start, len(arena)})
+	}
+	for _, bd := range bounds {
+		got = append(got, Row(arena[bd[0]:bd[1]:bd[1]]))
+	}
+	for i, r := range rows {
+		want, err := DecodeRow(EncodeRow(nil, r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got[i]) != len(want) {
+			t.Fatalf("row %d: %d cols, want %d", i, len(got[i]), len(want))
+		}
+		for j := range want {
+			if !Equal(got[i][j], want[j]) || got[i][j].T != want[j].T {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, got[i][j], want[j])
+			}
+		}
+	}
+	// Corrupt input must not leave partial values in the arena.
+	n := len(arena)
+	if _, err := AppendDecodedRow(arena, []byte{0x05, 0x09}); err == nil {
+		t.Fatal("corrupt row decoded")
+	} else if arenaAfter, _ := AppendDecodedRow(arena, []byte{0x05, 0x09}); len(arenaAfter) != n {
+		t.Fatalf("corrupt decode grew arena: %d -> %d", n, len(arenaAfter))
+	}
+}

@@ -160,6 +160,19 @@ func (f *File) GetPage(page uint32) (*Page, error) {
 	return &Page{f: f, fr: fr, Data: fr.data[:]}, nil
 }
 
+// PinPage pins the given page into a caller-owned handle, avoiding the
+// per-call allocation of GetPage. p must be released (or never pinned)
+// before being reused. Batch scans pin one page per batch step through
+// a single reused handle.
+func (f *File) PinPage(page uint32, p *Page) error {
+	fr, err := f.pool.get(f, page)
+	if err != nil {
+		return err
+	}
+	p.f, p.fr, p.Data, p.dirty = f, fr, fr.data[:], false
+	return nil
+}
+
 // MarkDirty records that the caller modified the page.
 func (p *Page) MarkDirty() { p.dirty = true }
 

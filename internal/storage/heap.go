@@ -283,6 +283,130 @@ func (h *Heap) Truncate() error {
 	return nil
 }
 
+// RecBatch is a reusable batch of raw heap records. Recs slices alias
+// the page frames the filling iterator keeps pinned for the life of
+// the batch (zero-copy): they are valid only until the next NextBatch
+// or Close call on the iterator that filled them. Callers that retain
+// a record beyond that must copy it.
+type RecBatch struct {
+	TIDs []TID
+	Recs [][]byte
+}
+
+// Len returns the number of records in the batch.
+func (b *RecBatch) Len() int { return len(b.Recs) }
+
+// reset clears the batch for refilling, keeping all capacity.
+func (b *RecBatch) reset() {
+	b.TIDs = b.TIDs[:0]
+	b.Recs = b.Recs[:0]
+}
+
+// appendRec records one record slice (aliasing a pinned frame).
+func (b *RecBatch) appendRec(tid TID, rec []byte) {
+	b.TIDs = append(b.TIDs, tid)
+	b.Recs = append(b.Recs, rec)
+}
+
+// maxBatchPins bounds the pages one batch may keep pinned, so a batch
+// over sparse pages cannot monopolize a small buffer pool. When the
+// cap is hit the batch simply comes up short of maxRows; the next call
+// continues from the following page.
+const maxBatchPins = 16
+
+// HeapBatchIter scans a heap page-at-a-time: each page is pinned once
+// and all its live slots are handed to the caller's RecBatch as slices
+// aliasing the pinned frame — no per-record copy or allocation, unlike
+// HeapIter.Next which does one GetPage call and one record allocation
+// per row. The pins are held until the next NextBatch or Close call,
+// which is what keeps the aliased records valid for the life of the
+// batch. Not safe for concurrent use.
+type HeapBatchIter struct {
+	h     *Heap
+	page  uint32
+	pins  [maxBatchPins]Page // frames backing the current batch
+	npins int
+	err   error
+}
+
+// ScanBatch returns a batch iterator positioned before the first page.
+func (h *Heap) ScanBatch() *HeapBatchIter { return &HeapBatchIter{h: h} }
+
+// release unpins every frame backing the current batch.
+func (it *HeapBatchIter) release() {
+	for i := 0; i < it.npins; i++ {
+		it.pins[i].Release()
+	}
+	it.npins = 0
+}
+
+// Close releases the frames pinned for the last batch. Callers that
+// abandon the iterator before exhaustion must call it; an exhausted
+// iterator holds no pins, so Close is then a no-op.
+func (it *HeapBatchIter) Close() error {
+	it.release()
+	return nil
+}
+
+// NextBatch fills b with live records, whole pages at a time, until at
+// least maxRows records are batched, maxBatchPins pages are pinned, or
+// the heap is exhausted (the last page added may overshoot maxRows; a
+// page is never split across batches). maxRows <= 0 means one
+// non-empty page per batch. Returns false when no records remain. The
+// records in b alias pages the iterator keeps pinned and are
+// invalidated by the next NextBatch or Close call on it.
+func (it *HeapBatchIter) NextBatch(b *RecBatch) (bool, error) {
+	if it.err != nil {
+		return false, it.err
+	}
+	return it.nextBatch(b, 0)
+}
+
+// NextBatchMax is NextBatch with an explicit row target.
+func (it *HeapBatchIter) NextBatchMax(b *RecBatch, maxRows int) (bool, error) {
+	if it.err != nil {
+		return false, it.err
+	}
+	return it.nextBatch(b, maxRows)
+}
+
+func (it *HeapBatchIter) nextBatch(b *RecBatch, maxRows int) (bool, error) {
+	it.release() // invalidates the previous batch's records
+	b.reset()
+	pages := it.h.file.Pages()
+	for it.page < pages && it.npins < maxBatchPins {
+		p := &it.pins[it.npins]
+		if err := it.h.file.PinPage(it.page, p); err != nil {
+			it.err = err
+			return false, err
+		}
+		d := p.Data
+		n := pageSlotCount(d)
+		before := len(b.Recs)
+		for s := 0; s < n; s++ {
+			off, length := slotEntry(d, s)
+			if off == deadSlot {
+				continue
+			}
+			b.appendRec(NewTID(it.page, uint16(s)), d[off:off+length])
+		}
+		if len(b.Recs) == before {
+			p.Release() // no live records: nothing aliases this frame
+		} else {
+			it.npins++
+		}
+		it.page++
+		if maxRows > 0 {
+			if len(b.Recs) >= maxRows {
+				break
+			}
+		} else if len(b.Recs) > 0 {
+			break
+		}
+	}
+	return len(b.Recs) > 0, nil
+}
+
 // HeapIter is a pull-style iterator over live heap records.
 type HeapIter struct {
 	h    *Heap

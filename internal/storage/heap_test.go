@@ -263,3 +263,112 @@ func TestHeapRandomizedAgainstModel(t *testing.T) {
 		}
 	}
 }
+
+// TestScanBatchMatchesScan asserts the batch scan sees exactly the
+// records (and TIDs, in the same physical order) that the row scan
+// sees, across multiple pages and with deleted slots interleaved.
+func TestScanBatchMatchesScan(t *testing.T) {
+	h := OpenHeap(newTestFile(t, nil), 1, 0)
+	var tids []TID
+	for i := 0; i < 700; i++ {
+		rec := []byte(fmt.Sprintf("rec-%04d-%s", i, bytes.Repeat([]byte("y"), i%40)))
+		tid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tids = append(tids, tid)
+	}
+	// Kill every 7th record so dead slots appear on every page.
+	for i := 0; i < len(tids); i += 7 {
+		if err := h.Delete(tids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wantTIDs []TID
+	var wantRecs [][]byte
+	if err := h.Scan(func(tid TID, rec []byte) (bool, error) {
+		wantTIDs = append(wantTIDs, tid)
+		wantRecs = append(wantRecs, append([]byte(nil), rec...))
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, maxRows := range []int{0, 1, 64, 100000} {
+		it := h.ScanBatch()
+		var b RecBatch
+		var gotTIDs []TID
+		var gotRecs [][]byte
+		batches := 0
+		for {
+			ok, err := it.NextBatchMax(&b, maxRows)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			batches++
+			if b.Len() == 0 {
+				t.Fatal("ok batch with zero records")
+			}
+			for i := range b.Recs {
+				gotTIDs = append(gotTIDs, b.TIDs[i])
+				gotRecs = append(gotRecs, append([]byte(nil), b.Recs[i]...))
+			}
+		}
+		if len(gotTIDs) != len(wantTIDs) {
+			t.Fatalf("maxRows=%d: %d records, want %d", maxRows, len(gotTIDs), len(wantTIDs))
+		}
+		for i := range wantTIDs {
+			if gotTIDs[i] != wantTIDs[i] || !bytes.Equal(gotRecs[i], wantRecs[i]) {
+				t.Fatalf("maxRows=%d: record %d mismatch: tid %v vs %v", maxRows, i, gotTIDs[i], wantTIDs[i])
+			}
+		}
+		if maxRows == 100000 && batches != 1 {
+			t.Fatalf("maxRows=100000: %d batches, want 1", batches)
+		}
+	}
+}
+
+func TestScanBatchEmptyHeap(t *testing.T) {
+	h := OpenHeap(newTestFile(t, nil), 1, 0)
+	var b RecBatch
+	if ok, err := h.ScanBatch().NextBatch(&b); err != nil || ok {
+		t.Fatalf("empty heap: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestScanBatchAllocs asserts the batch-scan inner loop is allocation
+// free in the steady state: once the reused RecBatch has grown to its
+// working size, a full scan performs 0 allocations per row (amortized
+// well under 1 per batch). This is the invariant the CI bench-smoke
+// step pins.
+func TestScanBatchAllocs(t *testing.T) {
+	h := OpenHeap(newTestFile(t, NewPool(256)), 1, 0)
+	rec := make([]byte, 64)
+	for i := 0; i < 4096; i++ {
+		if _, err := h.Insert(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b RecBatch
+	scan := func() {
+		it := h.ScanBatch()
+		for {
+			ok, err := it.NextBatchMax(&b, 1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				return
+			}
+		}
+	}
+	scan() // warm up: grow the batch buffers to working size
+	// One allocation per scan remains (the HeapBatchIter itself).
+	if allocs := testing.AllocsPerRun(10, scan); allocs > 2 {
+		t.Fatalf("batch scan allocates %.1f times per full scan, want <= 2", allocs)
+	}
+}
