@@ -319,6 +319,101 @@ func benchMonitorChurnParallel(b *testing.B, goroutines int) {
 	})
 }
 
+// BenchmarkPoolGetParallel{1,4,16} hammer the buffer pool's hot path
+// (pin + unpin of a resident page) from concurrent goroutines over a
+// fully warm pool: every iteration is a hit, so the numbers isolate
+// the pool's own synchronization cost, exactly like the monitor's
+// sensor-call benchmarks isolate the sensor. EXPERIMENTS.md records
+// the single-mutex-vs-sharded before/after.
+func BenchmarkPoolGetParallel1(b *testing.B)  { benchPoolGetParallel(b, 1) }
+func BenchmarkPoolGetParallel4(b *testing.B)  { benchPoolGetParallel(b, 4) }
+func BenchmarkPoolGetParallel16(b *testing.B) { benchPoolGetParallel(b, 16) }
+
+// Half the pool's frames: with frames hash-partitioned into shards,
+// a working set near capacity would overflow individual shards and
+// turn the "warm hit" benchmark into a partial-eviction benchmark.
+const poolBenchPages = 512
+
+func benchPoolGetParallel(b *testing.B, goroutines int) {
+	prev := runtime.GOMAXPROCS(goroutines)
+	defer runtime.GOMAXPROCS(prev)
+	pool := storage.NewPool(1024)
+	f := benchFile(b, pool)
+	defer f.Close()
+	// Materialize the working set and warm the pool: after this loop
+	// every page is resident and each benchmark iteration is a hit.
+	for i := 0; i < poolBenchPages; i++ {
+		pg, err := f.Allocate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := f.GetPage(pg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.MarkDirty()
+		p.Release()
+	}
+	if err := f.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	var seed atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Per-goroutine xorshift so page choice never serializes.
+		rng := seed.Add(0x9e3779b97f4a7c15)
+		var p storage.Page
+		for pb.Next() {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			if err := f.PinPage(uint32(rng%poolBenchPages), &p); err != nil {
+				b.Fatal(err)
+			}
+			p.Release()
+		}
+	})
+}
+
+// BenchmarkPoolChurnParallel16 is the eviction-heavy regime: the
+// working set is twice the pool, so roughly every other get evicts.
+// The single-mutex baseline paid an O(resident) LRU scan under the
+// global lock per eviction; the clock sweep is O(1) amortized per
+// shard.
+func BenchmarkPoolChurnParallel16(b *testing.B) {
+	prev := runtime.GOMAXPROCS(16)
+	defer runtime.GOMAXPROCS(prev)
+	pool := storage.NewPool(512)
+	f := benchFile(b, pool)
+	defer f.Close()
+	const pages = 1024
+	for i := 0; i < pages; i++ {
+		if _, err := f.Allocate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := f.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	var seed atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := seed.Add(0x9e3779b97f4a7c15)
+		var p storage.Page
+		for pb.Next() {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			if err := f.PinPage(uint32(rng%pages), &p); err != nil {
+				b.Fatal(err)
+			}
+			p.Release()
+		}
+	})
+}
+
 func BenchmarkBTreePut(b *testing.B) {
 	pool := storage.NewPool(4096)
 	f := benchFile(b, pool)
@@ -459,6 +554,38 @@ func benchScanAgg(b *testing.B, batch bool) {
 
 func BenchmarkScanAgg_Row(b *testing.B)   { benchScanAgg(b, false) }
 func BenchmarkScanAgg_Batch(b *testing.B) { benchScanAgg(b, true) }
+
+// benchScanAggParallel runs the same scan+filter+aggregate statement
+// from 8 concurrent sessions over a warm pool. Every batch step holds
+// up to 16 page pins, so this is the workload the sharded buffer pool
+// exists for: under the single global pool mutex all sessions
+// serialize on every pin/unpin. EXPERIMENTS.md records before/after.
+func benchScanAggParallel(b *testing.B, batch bool) {
+	const goroutines = 8
+	prev := runtime.GOMAXPROCS(goroutines)
+	defer runtime.GOMAXPROCS(prev)
+	db := scanAggInstance(b)
+	const q = "SELECT grp, COUNT(*), SUM(f) FROM scanrows WHERE a < 300 GROUP BY grp"
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		s := db.NewSession()
+		defer s.Close()
+		s.SetBatchExec(batch)
+		for pb.Next() {
+			res, err := s.Exec(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Rows) != 16 {
+				b.Fatalf("groups = %d", len(res.Rows))
+			}
+		}
+	})
+}
+
+func BenchmarkScanAggParallel8_Row(b *testing.B)   { benchScanAggParallel(b, false) }
+func BenchmarkScanAggParallel8_Batch(b *testing.B) { benchScanAggParallel(b, true) }
 
 // BenchmarkBatchScan measures the storage-layer batch scan in
 // isolation: page-at-a-time pinning into a reused record batch. The

@@ -36,6 +36,9 @@ const (
 	KindStatistics Kind = "collect-statistics"
 	KindModify     Kind = "modify-to-btree"
 	KindIndex      Kind = "create-index"
+	// KindBufferPool is report-level only: resizing the pool requires a
+	// restart, so Apply never executes it.
+	KindBufferPool Kind = "enlarge-buffer-pool"
 )
 
 // Recommendation is one proposed change with the DDL that implements
@@ -96,6 +99,14 @@ type Config struct {
 	// remaining candidate improves total estimated cost by less than
 	// this fraction (default 0.005).
 	MinImprovement float64
+	// MinHitRatio triggers the buffer-pool rule when an interval's cache
+	// hit ratio falls below it while evictions are nonzero (default
+	// 0.90).
+	MinHitRatio float64
+	// MinCacheRequests is the minimum page requests an interval needs
+	// before its hit ratio is judged (default 100; quieter intervals are
+	// noise).
+	MinCacheRequests int64
 }
 
 // Analyzer scans collected data and recommends design changes.
@@ -120,6 +131,12 @@ func New(cfg Config) (*Analyzer, error) {
 	if cfg.MinImprovement <= 0 {
 		cfg.MinImprovement = 0.005
 	}
+	if cfg.MinHitRatio <= 0 || cfg.MinHitRatio >= 1 {
+		cfg.MinHitRatio = 0.90
+	}
+	if cfg.MinCacheRequests <= 0 {
+		cfg.MinCacheRequests = 100
+	}
 	return &Analyzer{cfg: cfg}, nil
 }
 
@@ -143,6 +160,9 @@ func (a *Analyzer) Analyze() (*Report, error) {
 		return nil, err
 	}
 	if err := a.ruleOverflowPages(rep); err != nil {
+		return nil, err
+	}
+	if err := a.ruleBufferPool(rep); err != nil {
 		return nil, err
 	}
 	if err := a.adviseIndexes(rep); err != nil {

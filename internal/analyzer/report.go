@@ -18,11 +18,12 @@ func (r *Report) String() string {
 	if len(r.Recommendations) == 0 {
 		b.WriteString("\nno recommendations — the physical design fits the observed workload\n")
 	} else {
-		order := []Kind{KindModify, KindIndex, KindStatistics}
+		order := []Kind{KindModify, KindIndex, KindStatistics, KindBufferPool}
 		titles := map[Kind]string{
 			KindModify:     "storage structure changes",
 			KindIndex:      "secondary indexes",
 			KindStatistics: "statistics collection",
+			KindBufferPool: "configuration changes (manual)",
 		}
 		for _, k := range order {
 			var recs []Recommendation

@@ -671,6 +671,11 @@ func (d *Daemon) appendStatistics(x execTarget, ts int64) error {
 		sqltypes.NewInt(d.retries.Load()),
 		sqltypes.NewInt(d.carryDepth.Load()),
 		sqltypes.NewInt(d.alertErrors.Load()),
+		// Buffer-manager columns, appended after the health counters to
+		// keep older workload databases positionally compatible.
+		sqltypes.NewInt(st.CacheEvictions),
+		sqltypes.NewInt(st.CacheResident),
+		sqltypes.NewInt(st.PinWaits),
 	})
 	_, err := d.insertBatch(x, workloaddb.Statistics, []sqltypes.Row{row})
 	return err

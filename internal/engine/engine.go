@@ -316,6 +316,9 @@ type SystemStats struct {
 	DiskReads       int64
 	DiskWrites      int64
 	DBBytes         int64
+	CacheEvictions  int64
+	CacheResident   int64
+	PinWaits        int64
 }
 
 // Stats samples the engine-wide statistics.
@@ -334,6 +337,9 @@ func (db *DB) Stats() SystemStats {
 		DiskReads:       ps.DiskReads,
 		DiskWrites:      ps.DiskWrite,
 		DBBytes:         db.SizeBytes(),
+		CacheEvictions:  ps.Evictions,
+		CacheResident:   ps.Resident,
+		PinWaits:        ps.PinWaits,
 	}
 }
 

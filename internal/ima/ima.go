@@ -221,6 +221,9 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 				sqltypes.Column{Name: "disk_reads", Type: sqltypes.Int},
 				sqltypes.Column{Name: "disk_writes", Type: sqltypes.Int},
 				sqltypes.Column{Name: "db_bytes", Type: sqltypes.Int},
+				sqltypes.Column{Name: "cache_evictions", Type: sqltypes.Int},
+				sqltypes.Column{Name: "cache_resident", Type: sqltypes.Int},
+				sqltypes.Column{Name: "pin_waits", Type: sqltypes.Int},
 			),
 			provider: func() []sqltypes.Row {
 				st := db.Stats()
@@ -236,6 +239,9 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 					sqltypes.NewInt(st.DiskReads),
 					sqltypes.NewInt(st.DiskWrites),
 					sqltypes.NewInt(st.DBBytes),
+					sqltypes.NewInt(st.CacheEvictions),
+					sqltypes.NewInt(st.CacheResident),
+					sqltypes.NewInt(st.PinWaits),
 				}}
 			},
 		},

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"sort"
 	"testing"
+	"time"
 )
 
 func newTestBTree(t *testing.T, poolPages int) *BTree {
@@ -296,6 +297,7 @@ func TestPoolStatsAndEviction(t *testing.T) {
 
 func TestPoolAllPinnedError(t *testing.T) {
 	pool := NewPool(8)
+	pool.SetPinWaitBudget(10 * time.Millisecond)
 	f, err := OpenFile(filepath.Join(t.TempDir(), "p.dat"), pool)
 	if err != nil {
 		t.Fatal(err)
@@ -316,6 +318,9 @@ func TestPoolAllPinnedError(t *testing.T) {
 	pg, _ := f.Allocate()
 	if _, err := f.GetPage(pg); err == nil {
 		t.Error("expected pool-exhausted error with everything pinned")
+	}
+	if pw := pool.Stats().PinWaits; pw == 0 {
+		t.Error("expected PinWaits > 0 after exhausting a fully pinned pool")
 	}
 	for _, p := range pages {
 		p.Release()

@@ -176,12 +176,13 @@ func (f *File) PinPage(page uint32, p *Page) error {
 // MarkDirty records that the caller modified the page.
 func (p *Page) MarkDirty() { p.dirty = true }
 
-// Release unpins the page.
+// Release unpins the page. The unpin is lock-free: it touches only
+// the frame's own atomics, never a pool or shard lock.
 func (p *Page) Release() {
 	if p.fr == nil {
 		return
 	}
-	p.f.pool.unpin(p.fr, p.dirty)
+	p.fr.unpin(p.dirty)
 	p.fr = nil
 	p.Data = nil
 }

@@ -5,22 +5,25 @@
 package storage
 
 import (
-	"container/list"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // PageSize is the size of every on-disk page in bytes.
 const PageSize = 4096
 
-// PoolStats exposes buffer pool counters. All fields are cumulative.
+// PoolStats exposes buffer pool counters. All fields except Resident
+// are cumulative.
 type PoolStats struct {
 	Hits      int64 // page requests served from memory
 	Misses    int64 // page requests that required a disk read
 	DiskReads int64 // physical page reads
 	DiskWrite int64 // physical page writes
 	Evictions int64 // frames evicted to make room
+	PinWaits  int64 // backpressure waits because every frame in a shard was pinned
+	Resident  int64 // pages currently cached (gauge)
 }
 
 type pageKey struct {
@@ -28,28 +31,110 @@ type pageKey struct {
 	page uint32
 }
 
+// hash mixes the key through a splitmix64-style finalizer so that
+// consecutive pages of one file spread across all shards.
+func (k pageKey) hash() uint32 {
+	x := uint64(k.file)<<32 | uint64(k.page)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return uint32(x)
+}
+
+// frame is one resident page. A frame is published in its shard's map
+// only after its disk read completed (the load latch lives in the
+// shard's loading table), so holding a *frame from a hit always means
+// the data is valid. pins and dirty are atomics: unpin touches no lock.
 type frame struct {
 	key   pageKey
 	file  *File
+	pins  atomic.Int32  // > 0 blocks eviction
+	ref   atomic.Uint32 // clock reference bit (second chance)
+	dirty atomic.Uint32 // needs write-back before eviction
 	data  [PageSize]byte
-	dirty bool
-	pins  int32
-	lru   *list.Element
 }
 
-// Pool is a shared LRU buffer pool. A single pool serves every file of a
-// database so that cache pressure is global, as in a real DBMS.
-type Pool struct {
-	mu       sync.Mutex
-	capacity int
-	frames   map[pageKey]*frame
-	lru      *list.List // front = most recently used
+// unpin releases one pin, optionally marking the frame dirty. It is
+// lock-free: the dirty bit is set before the pin is released, so an
+// evictor that observes pins == 0 also observes the dirty bit.
+func (fr *frame) unpin(dirty bool) {
+	if dirty {
+		fr.dirty.Store(1)
+	}
+	fr.pins.Add(-1)
+}
+
+// pendingLoad is the load latch for a page being read from disk: a
+// concurrent getter of the same page blocks on ready instead of
+// observing a half-read frame, and sees err exactly as the reading
+// goroutine did.
+type pendingLoad struct {
+	ready   chan struct{} // closed when the read finished
+	err     error         // valid after ready is closed
+	dropped bool          // set by dropFile: do not publish the frame
+}
+
+// pendingWrite is the write-back latch for a page whose latest content
+// is in flight to disk but no longer (or not currently safely) in the
+// map: a getter that misses must wait for it, or it could re-read the
+// page's stale on-disk bytes into the cache (a lost update). At most
+// one pendingWrite exists per key; evictors and flushers check the
+// table before registering.
+type pendingWrite struct {
+	done chan struct{} // closed when the write finished
+	err  error         // valid after done is closed
+}
+
+// poolShard is one partition of the pool: its own lock, frame map,
+// fixed clock of frame slots, and in-flight load/write tables. Counter
+// fields are atomics so Stats never takes a shard lock.
+type poolShard struct {
+	mu      sync.Mutex
+	frames  map[pageKey]*frame       // published (fully loaded) frames
+	loading map[pageKey]*pendingLoad // reads in flight
+	writing map[pageKey]*pendingWrite
+	clock   []*frame // fixed slots; nil = free
+	free    []int    // indices of free clock slots
+	hand    int      // clock hand
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	diskReads atomic.Int64
 	diskWrite atomic.Int64
 	evictions atomic.Int64
+	pinWaits  atomic.Int64
+	resident  atomic.Int64
+
+	_ [64]byte // keep neighbouring shards off this shard's cache lines
+}
+
+// Sharding parameters: enough shards that concurrent sessions rarely
+// collide, but never so many that one shard cannot absorb a batch
+// scan's maxBatchPins pinned pages with room to spare.
+const (
+	maxPoolShards      = 16
+	minFramesPerShard  = 32
+	defaultPinWaitStep = time.Millisecond
+	defaultPinWaitMax  = 2 * time.Second
+)
+
+// Pool is a shared buffer pool. A single pool serves every file of a
+// database so that cache pressure is global, as in a real DBMS. Frames
+// are partitioned into power-of-two shards by page-key hash; each
+// shard runs an independent clock-sweep (second chance) eviction, so
+// there is no global lock and no O(resident) scan on eviction.
+type Pool struct {
+	capacity  int
+	shardMask uint32
+	shards    []*poolShard
+
+	// Backpressure instead of hard failure when every frame of a shard
+	// is pinned: get retries every pinWaitStep up to pinWaitMax before
+	// reporting exhaustion, counting each wait in PinWaits.
+	pinWaitStep time.Duration
+	pinWaitMax  time.Duration
 }
 
 // NewPool creates a buffer pool holding up to capacity pages. Capacity
@@ -58,147 +143,310 @@ func NewPool(capacity int) *Pool {
 	if capacity < 8 {
 		capacity = 8
 	}
-	return &Pool{
-		capacity: capacity,
-		frames:   make(map[pageKey]*frame, capacity),
-		lru:      list.New(),
+	nshards := 1
+	for nshards < maxPoolShards && nshards*2*minFramesPerShard <= capacity {
+		nshards *= 2
 	}
+	p := &Pool{
+		capacity:    capacity,
+		shardMask:   uint32(nshards - 1),
+		shards:      make([]*poolShard, nshards),
+		pinWaitStep: defaultPinWaitStep,
+		pinWaitMax:  defaultPinWaitMax,
+	}
+	base, rem := capacity/nshards, capacity%nshards
+	for i := range p.shards {
+		c := base
+		if i < rem {
+			c++
+		}
+		sh := &poolShard{
+			frames:  make(map[pageKey]*frame, c),
+			loading: map[pageKey]*pendingLoad{},
+			writing: map[pageKey]*pendingWrite{},
+			clock:   make([]*frame, c),
+			free:    make([]int, c),
+		}
+		for s := 0; s < c; s++ {
+			sh.free[s] = c - 1 - s // pop from the tail: slot 0 first
+		}
+		p.shards[i] = sh
+	}
+	return p
 }
 
-// Stats returns a snapshot of the pool counters.
+// SetPinWaitBudget bounds how long get waits for a pinned-full shard
+// to free a frame before failing (tests shrink it; zero disables
+// waiting entirely, restoring the old fail-fast behaviour).
+func (p *Pool) SetPinWaitBudget(max time.Duration) { p.pinWaitMax = max }
+
+// Stats returns a snapshot of the pool counters, summed over shards
+// without taking any shard lock.
 func (p *Pool) Stats() PoolStats {
-	return PoolStats{
-		Hits:      p.hits.Load(),
-		Misses:    p.misses.Load(),
-		DiskReads: p.diskReads.Load(),
-		DiskWrite: p.diskWrite.Load(),
-		Evictions: p.evictions.Load(),
+	var st PoolStats
+	for _, sh := range p.shards {
+		st.Hits += sh.hits.Load()
+		st.Misses += sh.misses.Load()
+		st.DiskReads += sh.diskReads.Load()
+		st.DiskWrite += sh.diskWrite.Load()
+		st.Evictions += sh.evictions.Load()
+		st.PinWaits += sh.pinWaits.Load()
+		st.Resident += sh.resident.Load()
 	}
+	return st
 }
 
 // Capacity returns the configured frame capacity.
 func (p *Pool) Capacity() int { return p.capacity }
 
+// Shards returns the number of shards (observability and tests).
+func (p *Pool) Shards() int { return len(p.shards) }
+
 // Resident returns the number of pages currently cached.
 func (p *Pool) Resident() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.frames)
+	var n int64
+	for _, sh := range p.shards {
+		n += sh.resident.Load()
+	}
+	return int(n)
 }
 
 // get pins the frame for (f, page), reading it from disk on a miss.
-// Callers must call p.unpin when done. If the page lies past the end of
-// the file it is served as a zero page (the file grows on flush).
+// Callers must unpin the frame when done. If the page lies past the
+// end of the on-disk file it is served as a zero page (the file grows
+// on flush). A frame becomes visible to other getters only after its
+// read completed: concurrent getters of a cold page block on the load
+// latch and observe the read error if the read failed.
 func (p *Pool) get(f *File, page uint32) (*frame, error) {
 	key := pageKey{file: f.id, page: page}
-	p.mu.Lock()
-	if fr, ok := p.frames[key]; ok {
-		fr.pins++
-		p.lru.MoveToFront(fr.lru)
-		p.mu.Unlock()
-		p.hits.Add(1)
-		return fr, nil
-	}
-	// Miss: make room while holding the lock, then read.
-	if err := p.evictLocked(); err != nil {
-		p.mu.Unlock()
-		return nil, err
-	}
-	fr := &frame{key: key, file: f, pins: 1}
-	fr.lru = p.lru.PushFront(fr)
-	p.frames[key] = fr
-	p.mu.Unlock()
-
-	p.misses.Add(1)
-	n, err := f.readPage(page, fr.data[:])
-	if err != nil {
-		p.mu.Lock()
-		p.lru.Remove(fr.lru)
-		delete(p.frames, key)
-		p.mu.Unlock()
-		return nil, err
-	}
-	if n > 0 {
-		p.diskReads.Add(1)
-	}
-	return fr, nil
-}
-
-// evictLocked makes room for one more frame. p.mu must be held.
-func (p *Pool) evictLocked() error {
-	for len(p.frames) >= p.capacity {
-		var victim *frame
-		for e := p.lru.Back(); e != nil; e = e.Prev() {
-			fr := e.Value.(*frame)
-			if fr.pins == 0 {
-				victim = fr
-				break
+	sh := p.shards[key.hash()&p.shardMask]
+	var waited time.Duration
+	for {
+		sh.mu.Lock()
+		if fr, ok := sh.frames[key]; ok {
+			fr.pins.Add(1)
+			fr.ref.Store(1)
+			sh.mu.Unlock()
+			sh.hits.Add(1)
+			return fr, nil
+		}
+		if ld, ok := sh.loading[key]; ok {
+			sh.mu.Unlock()
+			<-ld.ready
+			if ld.err != nil {
+				return nil, ld.err
 			}
+			continue // the loader published the frame; hit it
 		}
-		if victim == nil {
-			return fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned)", p.capacity)
-		}
-		if victim.dirty {
-			// Writing back outside the lock would be nicer; eviction is
-			// rare at our scale and correctness is simpler this way.
-			if err := victim.file.writePage(victim.key.page, victim.data[:]); err != nil {
-				return err
+		if wb, ok := sh.writing[key]; ok {
+			// The latest content is mid-flight to disk; wait for it so
+			// the re-read below cannot resurrect stale bytes.
+			sh.mu.Unlock()
+			<-wb.done
+			if wb.err != nil {
+				return nil, wb.err
 			}
-			p.diskWrite.Add(1)
-		}
-		p.lru.Remove(victim.lru)
-		delete(p.frames, victim.key)
-		p.evictions.Add(1)
-	}
-	return nil
-}
-
-// unpin releases a pinned frame, marking it dirty if it was modified.
-func (p *Pool) unpin(fr *frame, dirty bool) {
-	p.mu.Lock()
-	fr.pins--
-	if dirty {
-		fr.dirty = true
-	}
-	p.mu.Unlock()
-}
-
-// flushFile writes back every dirty frame belonging to f.
-func (p *Pool) flushFile(f *File) error {
-	p.mu.Lock()
-	var dirty []*frame
-	for key, fr := range p.frames {
-		if key.file == f.id && fr.dirty {
-			dirty = append(dirty, fr)
-		}
-	}
-	p.mu.Unlock()
-	for _, fr := range dirty {
-		p.mu.Lock()
-		if !fr.dirty {
-			p.mu.Unlock()
 			continue
 		}
-		data := fr.data
-		fr.dirty = false
-		p.mu.Unlock()
-		if err := f.writePage(fr.key.page, data[:]); err != nil {
+
+		// True miss: reserve a clock slot, evicting if necessary.
+		var slot int
+		if n := len(sh.free); n > 0 {
+			slot = sh.free[n-1]
+			sh.free = sh.free[:n-1]
+		} else {
+			victim, vslot := sh.sweepLocked()
+			if victim == nil {
+				// Every frame pinned (or write-locked): backpressure.
+				sh.mu.Unlock()
+				sh.pinWaits.Add(1)
+				if waited >= p.pinWaitMax {
+					return nil, fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned; waited %v)", p.capacity, waited)
+				}
+				time.Sleep(p.pinWaitStep)
+				waited += p.pinWaitStep
+				continue
+			}
+			sh.evictFrameLocked(victim, vslot)
+			slot = vslot
+			if victim.dirty.Load() != 0 {
+				// Write the victim back outside the shard lock. It is
+				// unreachable (not in frames, pins == 0), so its data is
+				// immutable; the pendingWrite entry keeps re-readers of
+				// the victim's page away until the write lands.
+				wb := &pendingWrite{done: make(chan struct{})}
+				sh.writing[victim.key] = wb
+				sh.mu.Unlock()
+				werr := victim.file.writePage(victim.key.page, victim.data[:])
+				if werr == nil {
+					sh.diskWrite.Add(1)
+				}
+				sh.mu.Lock()
+				delete(sh.writing, victim.key)
+				sh.free = append(sh.free, slot)
+				sh.mu.Unlock()
+				wb.err = werr
+				close(wb.done)
+				if werr != nil {
+					return nil, werr
+				}
+				continue // re-run from the top: our key may have appeared
+			}
+		}
+
+		// Load the page outside the lock, behind the load latch.
+		ld := &pendingLoad{ready: make(chan struct{})}
+		sh.loading[key] = ld
+		sh.misses.Add(1)
+		sh.mu.Unlock()
+
+		fr := &frame{key: key, file: f}
+		fr.pins.Store(1)
+		fr.ref.Store(1)
+		n, err := f.readPage(page, fr.data[:])
+
+		sh.mu.Lock()
+		delete(sh.loading, key)
+		if err != nil {
+			sh.free = append(sh.free, slot)
+			sh.mu.Unlock()
+			ld.err = err
+			close(ld.ready)
+			return nil, err
+		}
+		if ld.dropped {
+			// dropFile ran mid-load: hand the frame to the caller but do
+			// not cache it.
+			sh.free = append(sh.free, slot)
+		} else {
+			sh.frames[key] = fr
+			sh.clock[slot] = fr
+			sh.resident.Add(1)
+		}
+		sh.mu.Unlock()
+		if n > 0 {
+			sh.diskReads.Add(1)
+		}
+		close(ld.ready)
+		return fr, nil
+	}
+}
+
+// sweepLocked runs the clock hand over the shard's slots looking for
+// an unpinned frame whose reference bit is clear, clearing reference
+// bits as it passes (second chance). Dirty frames with a write already
+// in flight are skipped — registering a second write for the same page
+// could reorder the two writes. Returns nil if every frame is pinned.
+// sh.mu must be held.
+func (sh *poolShard) sweepLocked() (*frame, int) {
+	n := len(sh.clock)
+	for i := 0; i < 2*n; i++ {
+		idx := sh.hand
+		sh.hand++
+		if sh.hand == n {
+			sh.hand = 0
+		}
+		fr := sh.clock[idx]
+		if fr == nil || fr.pins.Load() != 0 {
+			continue
+		}
+		if fr.ref.Load() != 0 {
+			fr.ref.Store(0) // second chance
+			continue
+		}
+		if fr.dirty.Load() != 0 {
+			if _, busy := sh.writing[fr.key]; busy {
+				continue
+			}
+		}
+		return fr, idx
+	}
+	return nil, -1
+}
+
+// evictFrameLocked removes fr from the shard's map and clock. The
+// caller owns the freed slot. sh.mu must be held.
+func (sh *poolShard) evictFrameLocked(fr *frame, slot int) {
+	delete(sh.frames, fr.key)
+	sh.clock[slot] = nil
+	sh.resident.Add(-1)
+	sh.evictions.Add(1)
+}
+
+// flushFile writes back every dirty frame belonging to f. The dirty
+// set is snapshotted per shard in one pass; each write then runs
+// outside the shard lock behind a pendingWrite entry, so an eviction
+// of the (now clean) frame during the write cannot let a re-read
+// resurrect the page's stale on-disk bytes.
+func (p *Pool) flushFile(f *File) error {
+	var dirty []*frame
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for key, fr := range sh.frames {
+			if key.file == f.id && fr.dirty.Load() != 0 {
+				dirty = append(dirty, fr)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for _, fr := range dirty {
+		sh := p.shards[fr.key.hash()&p.shardMask]
+		sh.mu.Lock()
+		if sh.frames[fr.key] != fr {
+			// Evicted since the snapshot: the evictor wrote it back.
+			sh.mu.Unlock()
+			continue
+		}
+		if _, busy := sh.writing[fr.key]; busy {
+			// A previous flush of this page is still in flight; the
+			// frame stays dirty and the next flush retries it.
+			sh.mu.Unlock()
+			continue
+		}
+		if !fr.dirty.CompareAndSwap(1, 0) {
+			sh.mu.Unlock()
+			continue
+		}
+		wb := &pendingWrite{done: make(chan struct{})}
+		sh.writing[fr.key] = wb
+		sh.mu.Unlock()
+
+		err := f.writePage(fr.key.page, fr.data[:])
+		if err == nil {
+			sh.diskWrite.Add(1)
+		}
+		sh.mu.Lock()
+		delete(sh.writing, fr.key)
+		sh.mu.Unlock()
+		wb.err = err
+		close(wb.done)
+		if err != nil {
+			fr.dirty.Store(1) // still dirty; retried by the next flush
 			return err
 		}
-		p.diskWrite.Add(1)
 	}
 	return nil
 }
 
 // dropFile discards every cached frame of f without writing it back.
-// Used when a file is truncated or deleted.
+// Used when a file is truncated or deleted. Loads in flight for f are
+// marked so their frames are handed to their callers but not cached.
 func (p *Pool) dropFile(f *File) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for key, fr := range p.frames {
-		if key.file == f.id {
-			p.lru.Remove(fr.lru)
-			delete(p.frames, key)
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for slot, fr := range sh.clock {
+			if fr != nil && fr.key.file == f.id {
+				delete(sh.frames, fr.key)
+				sh.clock[slot] = nil
+				sh.free = append(sh.free, slot)
+				sh.resident.Add(-1)
+			}
 		}
+		for key, ld := range sh.loading {
+			if key.file == f.id {
+				ld.dropped = true
+			}
+		}
+		sh.mu.Unlock()
 	}
 }

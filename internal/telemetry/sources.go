@@ -78,6 +78,9 @@ func EngineSource(db *engine.DB) Source {
 			{Name: "engine_disk_reads_total", Help: "Pages read from disk.", Kind: Counter, Value: float64(st.DiskReads)},
 			{Name: "engine_disk_writes_total", Help: "Pages written to disk.", Kind: Counter, Value: float64(st.DiskWrites)},
 			{Name: "engine_db_bytes", Help: "Database size on disk in bytes.", Kind: Gauge, Value: float64(st.DBBytes)},
+			{Name: "engine_cache_evictions_total", Help: "Buffer pool frames evicted to make room.", Kind: Counter, Value: float64(st.CacheEvictions)},
+			{Name: "engine_cache_resident", Help: "Pages currently cached in the buffer pool.", Kind: Gauge, Value: float64(st.CacheResident)},
+			{Name: "engine_cache_pin_waits_total", Help: "Backpressure waits on a fully pinned pool shard.", Kind: Counter, Value: float64(st.PinWaits)},
 		}
 	}
 }

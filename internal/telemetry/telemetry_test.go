@@ -276,7 +276,8 @@ func TestMetricsAgreeWithWsStatistics(t *testing.T) {
 
 	ws := target.NewSession()
 	defer ws.Close()
-	res, err := ws.Exec("SELECT statements, poll_errors, retries, carryover_depth, alert_errors FROM " +
+	res, err := ws.Exec("SELECT statements, poll_errors, retries, carryover_depth, alert_errors, " +
+		"cache_evictions, cache_resident, pin_waits FROM " +
 		workloaddb.Statistics + " ORDER BY ts_us DESC LIMIT 1")
 	if err != nil {
 		t.Fatal(err)
@@ -295,6 +296,9 @@ func TestMetricsAgreeWithWsStatistics(t *testing.T) {
 		{"daemon_retries_total", "retries", row[2].I},
 		{"daemon_carryover_depth", "carryover_depth", row[3].I},
 		{"daemon_alert_errors_total", "alert_errors", row[4].I},
+		{"engine_cache_evictions_total", "cache_evictions", row[5].I},
+		{"engine_cache_resident", "cache_resident", row[6].I},
+		{"engine_cache_pin_waits_total", "pin_waits", row[7].I},
 	}
 	for _, c := range checks {
 		if got := metricValue(t, body, c.metric); got != float64(c.want) {

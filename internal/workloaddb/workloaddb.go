@@ -54,14 +54,18 @@ var schemaDDL = []string{
 	`CREATE TABLE IF NOT EXISTS ` + Indexes + ` (
 		ts_us BIGINT, index_name VARCHAR(64), table_name VARCHAR(64),
 		frequency BIGINT, is_virtual BIGINT)`,
-	// The trailing four columns are the storage daemon's own health
-	// counters, sampled each poll so the collector's failure history is
-	// queryable (and trendable) like any other statistic.
+	// After db_bytes come the storage daemon's own health counters,
+	// sampled each poll so the collector's failure history is queryable
+	// (and trendable) like any other statistic. The trailing three
+	// buffer-manager columns (evictions, resident, pin waits) are
+	// appended — never inserted mid-row — so older workload databases
+	// stay readable by position.
 	`CREATE TABLE IF NOT EXISTS ` + Statistics + ` (
 		ts_us BIGINT, current_sessions BIGINT, peak_sessions BIGINT, statements BIGINT,
 		locks_held BIGINT, lock_waits BIGINT, deadlocks BIGINT, cache_hits BIGINT,
 		cache_misses BIGINT, disk_reads BIGINT, disk_writes BIGINT, db_bytes BIGINT,
-		poll_errors BIGINT, retries BIGINT, carryover_depth BIGINT, alert_errors BIGINT)`,
+		poll_errors BIGINT, retries BIGINT, carryover_depth BIGINT, alert_errors BIGINT,
+		cache_evictions BIGINT, cache_resident BIGINT, pin_waits BIGINT)`,
 	// One row per non-empty histogram bucket per poll. Counts are
 	// cumulative since monitor start (counter semantics, like
 	// Prometheus); the analyzer differences successive snapshots to get
