@@ -118,6 +118,13 @@ const (
 	minFramesPerShard  = 32
 	defaultPinWaitStep = time.Millisecond
 	defaultPinWaitMax  = 2 * time.Second
+
+	// flushFrame needs a moment where the frame is unpinned to take a
+	// consistent snapshot of the page; pins are short-lived, so it polls
+	// on a fine step. The cap only guards against a leaked pin turning a
+	// checkpoint into a silent hang.
+	flushPinWaitStep = 100 * time.Microsecond
+	flushPinWaitMax  = 30 * time.Second
 )
 
 // Pool is a shared buffer pool. A single pool serves every file of a
@@ -240,12 +247,13 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 		}
 		if wb, ok := sh.writing[key]; ok {
 			// The latest content is mid-flight to disk; wait for it so
-			// the re-read below cannot resurrect stale bytes.
+			// the re-read below cannot resurrect stale bytes. The
+			// write's outcome belongs to its writer, not this read: on
+			// success the retry re-reads the fresh bytes, on failure
+			// the writer re-published the frame (still dirty) and the
+			// retry hits it in memory.
 			sh.mu.Unlock()
 			<-wb.done
-			if wb.err != nil {
-				return nil, wb.err
-			}
 			continue
 		}
 
@@ -278,20 +286,32 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 				sh.writing[victim.key] = wb
 				sh.mu.Unlock()
 				werr := victim.file.writePage(victim.key.page, victim.data[:])
-				if werr == nil {
-					sh.diskWrite.Add(1)
-				}
 				sh.mu.Lock()
 				delete(sh.writing, victim.key)
+				if werr != nil {
+					// The frame holds the only up-to-date copy of the
+					// victim's page: re-publish it (still dirty) so the
+					// data survives and a later flush or eviction
+					// retries the write, then surface the failure. The
+					// re-insert happens before wb.done closes, so a
+					// getter of the victim's page that waited on wb
+					// retries and hits the frame in memory.
+					sh.frames[victim.key] = victim
+					sh.clock[slot] = victim
+					sh.resident.Add(1)
+					sh.mu.Unlock()
+					wb.err = werr
+					close(wb.done)
+					return nil, fmt.Errorf("storage: write-back of page %d of %s while evicting: %w", victim.key.page, victim.file.path, werr)
+				}
+				sh.diskWrite.Add(1)
+				sh.evictions.Add(1)
 				sh.free = append(sh.free, slot)
 				sh.mu.Unlock()
-				wb.err = werr
 				close(wb.done)
-				if werr != nil {
-					return nil, werr
-				}
 				continue // re-run from the top: our key may have appeared
 			}
+			sh.evictions.Add(1)
 		}
 
 		// Load the page outside the lock, behind the load latch.
@@ -334,10 +354,11 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 
 // sweepLocked runs the clock hand over the shard's slots looking for
 // an unpinned frame whose reference bit is clear, clearing reference
-// bits as it passes (second chance). Dirty frames with a write already
-// in flight are skipped — registering a second write for the same page
-// could reorder the two writes. Returns nil if every frame is pinned.
-// sh.mu must be held.
+// bits as it passes (second chance). Frames with a write already in
+// flight are skipped: registering a second write for the same page
+// could reorder the two writes, and a flush in progress relies on the
+// frame staying resident so a failed write can re-mark it dirty.
+// Returns nil if every frame is pinned. sh.mu must be held.
 func (sh *poolShard) sweepLocked() (*frame, int) {
 	n := len(sh.clock)
 	for i := 0; i < 2*n; i++ {
@@ -354,10 +375,8 @@ func (sh *poolShard) sweepLocked() (*frame, int) {
 			fr.ref.Store(0) // second chance
 			continue
 		}
-		if fr.dirty.Load() != 0 {
-			if _, busy := sh.writing[fr.key]; busy {
-				continue
-			}
+		if _, busy := sh.writing[fr.key]; busy {
+			continue
 		}
 		return fr, idx
 	}
@@ -365,21 +384,27 @@ func (sh *poolShard) sweepLocked() (*frame, int) {
 }
 
 // evictFrameLocked removes fr from the shard's map and clock. The
-// caller owns the freed slot. sh.mu must be held.
+// caller owns the freed slot and counts the eviction once it is final
+// (a failed dirty write-back re-publishes the frame instead). sh.mu
+// must be held.
 func (sh *poolShard) evictFrameLocked(fr *frame, slot int) {
 	delete(sh.frames, fr.key)
 	sh.clock[slot] = nil
 	sh.resident.Add(-1)
-	sh.evictions.Add(1)
 }
 
-// flushFile writes back every dirty frame belonging to f. The dirty
-// set is snapshotted per shard in one pass; each write then runs
-// outside the shard lock behind a pendingWrite entry, so an eviction
-// of the (now clean) frame during the write cannot let a re-read
-// resurrect the page's stale on-disk bytes.
+// flushFile writes back every dirty frame belonging to f, and waits
+// for write-backs of f's pages that were already in flight, so a nil
+// return is a real durability barrier: every page that was dirty when
+// the flush began is on disk. The dirty set is snapshotted per shard
+// in one pass; each frame is then persisted by flushFrame from a
+// private copy of the page image.
 func (p *Pool) flushFile(f *File) error {
-	var dirty []*frame
+	var (
+		dirty        []*frame
+		inflight     []*pendingWrite
+		inflightKeys []pageKey
+	)
 	for _, sh := range p.shards {
 		sh.mu.Lock()
 		for key, fr := range sh.frames {
@@ -387,31 +412,98 @@ func (p *Pool) flushFile(f *File) error {
 				dirty = append(dirty, fr)
 			}
 		}
+		for key, wb := range sh.writing {
+			if key.file == f.id {
+				inflight = append(inflight, wb)
+				inflightKeys = append(inflightKeys, key)
+			}
+		}
 		sh.mu.Unlock()
 	}
-	for _, fr := range dirty {
-		sh := p.shards[fr.key.hash()&p.shardMask]
+	// Writes already in flight (eviction write-backs, an overlapping
+	// flush) carry content that was dirty before this flush began; the
+	// barrier must include them. A failed write-back re-published its
+	// frame still dirty — pick it up for retry below.
+	for i, wb := range inflight {
+		<-wb.done
+		if wb.err == nil {
+			continue
+		}
+		key := inflightKeys[i]
+		sh := p.shards[key.hash()&p.shardMask]
 		sh.mu.Lock()
-		if sh.frames[fr.key] != fr {
-			// Evicted since the snapshot: the evictor wrote it back.
+		if fr, ok := sh.frames[key]; ok && fr.dirty.Load() != 0 {
+			dirty = append(dirty, fr)
+		}
+		sh.mu.Unlock()
+	}
+	var buf [PageSize]byte
+	for _, fr := range dirty {
+		if err := p.flushFrame(f, fr, &buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// flushFrame persists one dirty frame. The page image is copied into
+// buf under the shard lock at a moment when the frame is unpinned:
+// mutating a page requires a pin and pinning requires the shard lock,
+// so the copy is a consistent snapshot and the disk write never reads
+// the shared frame — a concurrent session can neither race the write
+// nor tear the on-disk page. The pendingWrite entry excludes other
+// writers of the same page and (via sweepLocked) keeps the frame
+// resident until the write lands, so a failure simply re-marks the
+// frame dirty. It is flushFrame, not the caller, that retries when a
+// concurrent write of the same page is in flight — skipping would let
+// Sync fsync before the page's newest content reached disk.
+func (p *Pool) flushFrame(f *File, fr *frame, buf *[PageSize]byte) error {
+	sh := p.shards[fr.key.hash()&p.shardMask]
+	var waited time.Duration
+	for {
+		sh.mu.Lock()
+		if cur, ok := sh.frames[fr.key]; !ok || cur != fr {
+			// Evicted since the snapshot: the evictor's write-back
+			// persists the content. Wait for it if it is still in
+			// flight; if it failed, the frame was re-published dirty,
+			// so retry from the top.
+			wb := sh.writing[fr.key]
 			sh.mu.Unlock()
+			if wb != nil {
+				<-wb.done
+				if wb.err != nil {
+					continue
+				}
+			}
+			return nil
+		}
+		if wb, busy := sh.writing[fr.key]; busy {
+			sh.mu.Unlock()
+			<-wb.done
 			continue
 		}
-		if _, busy := sh.writing[fr.key]; busy {
-			// A previous flush of this page is still in flight; the
-			// frame stays dirty and the next flush retries it.
+		if fr.dirty.Load() == 0 {
 			sh.mu.Unlock()
+			return nil
+		}
+		if fr.pins.Load() != 0 {
+			// A pinned frame may be mid-mutation; copying it now could
+			// capture a torn page. Pins are short-lived: wait for a gap.
+			sh.mu.Unlock()
+			if waited >= flushPinWaitMax {
+				return fmt.Errorf("storage: flush page %d of %s: frame continuously pinned for %v", fr.key.page, f.path, waited)
+			}
+			time.Sleep(flushPinWaitStep)
+			waited += flushPinWaitStep
 			continue
 		}
-		if !fr.dirty.CompareAndSwap(1, 0) {
-			sh.mu.Unlock()
-			continue
-		}
+		fr.dirty.Store(0)
 		wb := &pendingWrite{done: make(chan struct{})}
 		sh.writing[fr.key] = wb
+		copy(buf[:], fr.data[:])
 		sh.mu.Unlock()
 
-		err := f.writePage(fr.key.page, fr.data[:])
+		err := f.writePage(fr.key.page, buf[:])
 		if err == nil {
 			sh.diskWrite.Add(1)
 		}
@@ -424,16 +516,39 @@ func (p *Pool) flushFile(f *File) error {
 			fr.dirty.Store(1) // still dirty; retried by the next flush
 			return err
 		}
+		return nil
 	}
-	return nil
 }
 
 // dropFile discards every cached frame of f without writing it back.
-// Used when a file is truncated or deleted. Loads in flight for f are
-// marked so their frames are handed to their callers but not cached.
+// Used when a file is truncated or deleted. Write-backs of f's pages
+// already in flight are drained first, so a failed one cannot
+// re-publish a frame after the drop and no write can land on (or
+// error against) a descriptor the caller is about to close. Loads in
+// flight for f are marked so their frames are handed to their callers
+// but not cached.
 func (p *Pool) dropFile(f *File) {
 	for _, sh := range p.shards {
 		sh.mu.Lock()
+		for {
+			var pending []*pendingWrite
+			for key, wb := range sh.writing {
+				if key.file == f.id {
+					pending = append(pending, wb)
+				}
+			}
+			if pending == nil {
+				break
+			}
+			sh.mu.Unlock()
+			for _, wb := range pending {
+				<-wb.done
+			}
+			sh.mu.Lock()
+		}
+		// The lock is held and no write-back of f is in flight; after
+		// the frames are removed none can start, because registering
+		// one requires a resident frame of f.
 		for slot, fr := range sh.clock {
 			if fr != nil && fr.key.file == f.id {
 				delete(sh.frames, fr.key)

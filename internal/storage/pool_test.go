@@ -3,6 +3,7 @@ package storage
 import (
 	"bytes"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -284,6 +285,169 @@ func TestPoolFlushDuringConcurrentScan(t *testing.T) {
 		}
 		if tag := pageTag(pg, 0); p.Data[0] != tag || p.Data[PageSize-1] != tag {
 			t.Errorf("disk page %d corrupt after flush storm: %#x want %#x", pg, p.Data[0], tag)
+		}
+		p.Release()
+	}
+}
+
+// TestPoolEvictionWriteBackFailurePreservesData forces a dirty
+// eviction whose write-back fails and checks that the victim's data is
+// not lost: the frame must be re-published (still dirty) so later
+// reads hit it in memory and a later flush can persist it. The old
+// pool discarded the only up-to-date copy and silently served stale
+// on-disk bytes afterwards.
+func TestPoolEvictionWriteBackFailurePreservesData(t *testing.T) {
+	pool := NewPool(8) // single shard
+	path := filepath.Join(t.TempDir(), "wb.dat")
+	f, err := OpenFile(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 8
+	for pg := uint32(0); pg < pages; pg++ {
+		if _, err := f.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+		fillPage(t, f, pg, pageTag(pg, 0)) // dirty, never flushed
+	}
+
+	f.f.Close() // every physical write (and read) now fails
+	extra, _ := f.Allocate()
+	if _, err := f.GetPage(extra); err == nil {
+		t.Fatal("get succeeded although the eviction write-back had to fail")
+	}
+
+	// Nothing may be lost: all original pages are still resident and
+	// served from memory (the descriptor is closed, so any disk read
+	// would fail).
+	if res := pool.Resident(); res != pages {
+		t.Fatalf("resident %d after failed write-back, want %d", res, pages)
+	}
+	for pg := uint32(0); pg < pages; pg++ {
+		p, err := f.GetPage(pg)
+		if err != nil {
+			t.Fatalf("page %d no longer readable after failed write-back: %v", pg, err)
+		}
+		if tag := pageTag(pg, 0); p.Data[0] != tag || p.Data[PageSize-1] != tag {
+			t.Errorf("page %d corrupt after failed write-back: %#x want %#x", pg, p.Data[0], tag)
+		}
+		p.Release()
+	}
+
+	// Restore the descriptor: the pages are still dirty, so a flush
+	// must now persist every one of them.
+	ff, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.f = ff
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := OpenFile(path, NewPool(pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	for pg := uint32(0); pg < pages; pg++ {
+		p, err := f2.GetPage(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tag := pageTag(pg, 0); p.Data[0] != tag || p.Data[PageSize-1] != tag {
+			t.Errorf("disk page %d wrong after retried flush: %#x want %#x", pg, p.Data[0], tag)
+		}
+		p.Release()
+	}
+}
+
+// TestPoolFlushConcurrentMutationNoTear flushes while mutators rewrite
+// whole pages with changing byte values (each goroutine owns a
+// disjoint page range, as engine-level locks guarantee). Flush must
+// snapshot a page only while it is unpinned, so every on-disk page
+// image is uniform; a flush that reads the frame while a mutator
+// writes it shows up as a mixed ("torn") page — and as a data race
+// under -race. Eviction pressure (pool holds half the pages) exercises
+// the eviction write-back path the same way.
+func TestPoolFlushConcurrentMutationNoTear(t *testing.T) {
+	const (
+		pages    = 64
+		nWriters = 4
+	)
+	pool := NewPool(32)
+	path := filepath.Join(t.TempDir(), "tear.dat")
+	f, err := OpenFile(path, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pg := uint32(0); pg < pages; pg++ {
+		if _, err := f.Allocate(); err != nil {
+			t.Fatal(err)
+		}
+		fillPage(t, f, pg, 1)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < nWriters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)*104729 + 1))
+			lo, hi := g*pages/nWriters, (g+1)*pages/nWriters
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pg := uint32(lo + r.Intn(hi-lo))
+				p, err := f.GetPage(pg)
+				if err != nil {
+					t.Errorf("writer get %d: %v", pg, err)
+					return
+				}
+				tag := byte(r.Intn(255)) + 1
+				for i := range p.Data {
+					p.Data[i] = tag
+				}
+				p.MarkDirty()
+				p.Release()
+			}
+		}(g)
+	}
+
+	flushes := 100
+	if testing.Short() {
+		flushes = 20
+	}
+	for i := 0; i < flushes; i++ {
+		if err := f.Flush(); err != nil {
+			t.Fatalf("flush %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := OpenFile(path, NewPool(pages))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	for pg := uint32(0); pg < pages; pg++ {
+		p, err := f2.GetPage(pg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tag := p.Data[0]
+		for i, b := range p.Data {
+			if b != tag {
+				t.Errorf("disk page %d torn: byte %d is %#x, byte 0 is %#x", pg, i, b, tag)
+				break
+			}
 		}
 		p.Release()
 	}
