@@ -53,9 +53,9 @@ func insertStatSeries(t *testing.T, wdb *engine.DB, samples []statSample) {
 		// locks_held, lock_waits, deadlocks, cache_hits, cache_misses,
 		// disk_reads, disk_writes, db_bytes, poll_errors, retries,
 		// carryover_depth, alert_errors, cache_evictions, cache_resident,
-		// pin_waits.
+		// pin_waits, wal_bytes, wal_fsyncs, redo_records, redo_nanos.
 		if _, err := s.Exec(fmt.Sprintf(
-			"INSERT INTO %s VALUES (%d, 1, 1, %d, 0, 0, 0, %d, %d, %d, 0, 0, 0, 0, 0, 0, %d, 64, %d)",
+			"INSERT INTO %s VALUES (%d, 1, 1, %d, 0, 0, 0, %d, %d, %d, 0, 0, 0, 0, 0, 0, %d, 64, %d, 0, 0, 0, 0)",
 			workloaddb.Statistics, ts, int64(i)*10,
 			sm.hits, sm.misses, sm.misses, sm.evictions, sm.pinWaits)); err != nil {
 			t.Fatal(err)

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sqltypes"
@@ -144,11 +145,46 @@ func (c *Catalog) saveLocked() error {
 		return err
 	}
 	tmp := c.path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, c.path)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	// The temp file must be durable BEFORE the rename publishes it: a
+	// crash after an unsynced rename can leave the catalog pointing at
+	// empty or partial content — rename orders nothing by itself.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	fsyncs.Add(1)
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return err
+	}
+	// And the directory entry for the rename itself.
+	if d, err := os.Open(filepath.Dir(c.path)); err == nil {
+		serr := d.Sync()
+		d.Close()
+		if serr == nil {
+			fsyncs.Add(1)
+		}
+	}
+	return nil
 }
+
+// fsyncs counts catalog fsyncs (temp-file and directory syncs) for
+// durability regression tests.
+var fsyncs atomic.Int64
+
+// Fsyncs returns the process-wide count of fsyncs the catalog issued
+// while saving.
+func Fsyncs() int64 { return fsyncs.Load() }
 
 func lower(s string) string { return strings.ToLower(s) }
 

@@ -247,3 +247,33 @@ func TestHistogramSkewKeepsDuplicatesTogether(t *testing.T) {
 func writeFile(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644)
 }
+
+// TestSaveFsyncsBeforeRename is the durability regression test for
+// Save: the temp file must be fsynced BEFORE the rename publishes it
+// and the directory entry after — a rename without either can leave a
+// zero-length catalog after a crash. The fsync counter observes both.
+func TestSaveFsyncsBeforeRename(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := Fsyncs()
+	if err := c.AddTable(sampleTable("t1")); err != nil { // AddTable saves
+		t.Fatal(err)
+	}
+	if got := Fsyncs() - n0; got < 2 {
+		t.Fatalf("Save issued %d fsyncs, want >= 2 (temp file + directory)", got)
+	}
+	// No stale temp file left behind, and the published file reloads.
+	if _, err := os.Stat(c.path + ".tmp"); !os.IsNotExist(err) {
+		t.Errorf("temp file still present after Save: %v", err)
+	}
+	c2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Table("t1") == nil {
+		t.Error("saved catalog does not reload")
+	}
+}

@@ -676,6 +676,12 @@ func (d *Daemon) appendStatistics(x execTarget, ts int64) error {
 		sqltypes.NewInt(st.CacheEvictions),
 		sqltypes.NewInt(st.CacheResident),
 		sqltypes.NewInt(st.PinWaits),
+		// WAL/recovery columns, appended last for the same positional
+		// compatibility reason.
+		sqltypes.NewInt(st.WALBytes),
+		sqltypes.NewInt(st.WALFsyncs),
+		sqltypes.NewInt(st.RedoRecords),
+		sqltypes.NewInt(st.RedoNanos),
 	})
 	_, err := d.insertBatch(x, workloaddb.Statistics, []sqltypes.Row{row})
 	return err

@@ -129,7 +129,7 @@ func (db *DB) execCreateIndex(st *sqlparser.CreateIndexStmt) (*Result, error) {
 		db.plans.invalidate()
 		return &Result{}, nil
 	}
-	xf, err := storage.OpenFile(db.indexPath(st.Name), db.pool)
+	xf, err := db.newFile(db.indexPath(st.Name))
 	if err != nil {
 		db.cat.DropIndex(st.Name)
 		return nil, err

@@ -27,11 +27,12 @@ func (noColumns) Resolve(table, column string) (int, sqltypes.Type, error) {
 	return 0, 0, fmt.Errorf("engine: column references are not allowed here")
 }
 
-func (db *DB) execInsert(st *sqlparser.InsertStmt, params []sqltypes.Value, h *monitor.Handle) (*Result, error) {
+func (db *DB) execInsert(st *sqlparser.InsertStmt, params []sqltypes.Value, wtx *storage.WalTxn, h *monitor.Handle) (*Result, error) {
 	th := db.handle(st.Table)
 	if th == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
 	}
+	defer db.attachWalTxn(th, wtx)()
 	schema := th.meta.Schema
 
 	// Column mapping: position i of the VALUES row goes to colMap[i].
@@ -125,11 +126,12 @@ func (db *DB) matchRows(th *tableHandle, where sqlparser.Expr, params []sqltypes
 	}
 }
 
-func (db *DB) execUpdate(st *sqlparser.UpdateStmt, params []sqltypes.Value, h *monitor.Handle) (*Result, error) {
+func (db *DB) execUpdate(st *sqlparser.UpdateStmt, params []sqltypes.Value, wtx *storage.WalTxn, h *monitor.Handle) (*Result, error) {
 	th := db.handle(st.Table)
 	if th == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
 	}
+	defer db.attachWalTxn(th, wtx)()
 	schema := th.meta.Schema
 
 	// Bind SET expressions against the table row.
@@ -187,11 +189,12 @@ func (db *DB) execUpdate(st *sqlparser.UpdateStmt, params []sqltypes.Value, h *m
 	return &Result{RowsAffected: int64(len(tids))}, nil
 }
 
-func (db *DB) execDelete(st *sqlparser.DeleteStmt, params []sqltypes.Value, h *monitor.Handle) (*Result, error) {
+func (db *DB) execDelete(st *sqlparser.DeleteStmt, params []sqltypes.Value, wtx *storage.WalTxn, h *monitor.Handle) (*Result, error) {
 	th := db.handle(st.Table)
 	if th == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
 	}
+	defer db.attachWalTxn(th, wtx)()
 	tids, rows, err := db.matchRows(th, st.Where, params)
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/executor"
@@ -34,6 +35,12 @@ type Config struct {
 	// PlanCacheSize bounds the number of cached prepared plans
 	// (default 512).
 	PlanCacheSize int
+	// GroupCommitInterval is the WAL group-commit batching window
+	// (default ~1ms; negative forces synchronous per-commit fsync).
+	GroupCommitInterval time.Duration
+	// WALOpen substitutes the WAL file implementation — the walfault
+	// crash-simulation seam. nil uses the real file.
+	WALOpen func(string) (storage.WALFile, error)
 }
 
 // DB is an embedded database instance.
@@ -43,6 +50,8 @@ type DB struct {
 	pool  *storage.Pool
 	locks *lock.Manager
 	mon   *monitor.Monitor
+	wal   *storage.WAL
+	redo  recoveryStats // what crash recovery did at Open
 
 	mu      sync.RWMutex // guards tables and virtual maps
 	tables  map[string]*tableHandle
@@ -86,12 +95,27 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Crash recovery replays the WAL against the raw page files before
+	// any page enters the buffer pool.
+	redo, err := recoverWAL(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	wal, err := storage.OpenWAL(filepath.Join(cfg.Dir, storage.WALFileName), storage.WALOptions{
+		GroupCommitInterval: cfg.GroupCommitInterval,
+		OpenFile:            cfg.WALOpen,
+	})
+	if err != nil {
+		return nil, err
+	}
 	db := &DB{
 		dir:     cfg.Dir,
 		cat:     cat,
 		pool:    storage.NewPool(cfg.PoolPages),
 		locks:   lock.NewManager(),
 		mon:     cfg.Monitor,
+		wal:     wal,
+		redo:    redo,
 		tables:  map[string]*tableHandle{},
 		virtual: map[string]*virtualTable{},
 		plans:   newPlanCache(cfg.PlanCacheSize),
@@ -102,7 +126,24 @@ func Open(cfg Config) (*DB, error) {
 			return nil, err
 		}
 	}
+	if redo.Redo > 0 || redo.Undo > 0 {
+		// Recovery moved data under the catalog's row counts.
+		if err := db.recountAfterRecovery(); err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
 	return db, nil
+}
+
+// newFile opens a page file attached to both the pool and the WAL.
+func (db *DB) newFile(path string) (*storage.File, error) {
+	f, err := storage.OpenFile(path, db.pool)
+	if err != nil {
+		return nil, err
+	}
+	f.AttachWAL(db.wal)
+	return f, nil
 }
 
 func (db *DB) tablePath(name string) string {
@@ -119,7 +160,7 @@ func (db *DB) indexPath(name string) string {
 
 // openTable opens the storage files behind a catalog table.
 func (db *DB) openTable(meta *catalog.Table) error {
-	f, err := storage.OpenFile(db.tablePath(meta.Name), db.pool)
+	f, err := db.newFile(db.tablePath(meta.Name))
 	if err != nil {
 		return err
 	}
@@ -129,7 +170,7 @@ func (db *DB) openTable(meta *catalog.Table) error {
 		indexes: map[string]*storage.BTree{},
 	}
 	if meta.Structure == catalog.BTree {
-		pf, err := storage.OpenFile(db.primaryPath(meta.Name), db.pool)
+		pf, err := db.newFile(db.primaryPath(meta.Name))
 		if err != nil {
 			f.Close()
 			return err
@@ -146,7 +187,7 @@ func (db *DB) openTable(meta *catalog.Table) error {
 		}
 	}
 	for _, ix := range db.cat.TableIndexes(meta.Name, false) {
-		xf, err := storage.OpenFile(db.indexPath(ix.Name), db.pool)
+		xf, err := db.newFile(db.indexPath(ix.Name))
 		if err != nil {
 			return err
 		}
@@ -247,8 +288,13 @@ func (db *DB) syncMeta(h *tableHandle) {
 	h.meta.MainPages = h.heap.MainPages()
 }
 
-// Checkpoint flushes all dirty pages and persists the catalog.
+// Checkpoint runs a fuzzy checkpoint: a begin-checkpoint record fixes
+// the redo scan start, every table file is flushed AND fsynced (the
+// pre-WAL version only flushed, so a checkpoint guaranteed nothing),
+// the catalog is persisted, and the end-checkpoint record — durable
+// before Checkpoint returns — publishes the scan start to recovery.
 func (db *DB) Checkpoint() error {
+	scanStart := db.wal.CheckpointBegin()
 	db.mu.RLock()
 	handles := make([]*tableHandle, 0, len(db.tables))
 	for _, h := range db.tables {
@@ -257,21 +303,24 @@ func (db *DB) Checkpoint() error {
 	db.mu.RUnlock()
 	for _, h := range handles {
 		db.syncMeta(h)
-		if err := h.heap.File().Flush(); err != nil {
+		if err := h.heap.File().Sync(); err != nil {
 			return err
 		}
 		if h.primary != nil {
-			if err := h.primary.File().Flush(); err != nil {
+			if err := h.primary.File().Sync(); err != nil {
 				return err
 			}
 		}
 		for _, ix := range h.indexes {
-			if err := ix.File().Flush(); err != nil {
+			if err := ix.File().Sync(); err != nil {
 				return err
 			}
 		}
 	}
-	return db.cat.Save()
+	if err := db.cat.Save(); err != nil {
+		return err
+	}
+	return db.wal.CheckpointEnd(scanStart)
 }
 
 // Close checkpoints and closes every file.
@@ -298,7 +347,34 @@ func (db *DB) Close() error {
 		}
 	}
 	db.tables = map[string]*tableHandle{}
+	if err := db.wal.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	return firstErr
+}
+
+// WAL returns the write-ahead log (nil only before Open finished).
+func (db *DB) WAL() *storage.WAL { return db.wal }
+
+// SetGroupCommitInterval retunes the WAL group-commit window at
+// runtime; <= 0 switches to synchronous per-commit fsync.
+func (db *DB) SetGroupCommitInterval(d time.Duration) {
+	if db.wal != nil {
+		db.wal.SetGroupCommitInterval(d)
+	}
+}
+
+// WALFsyncLatency returns the WAL fsync latency histogram in the
+// monitor's bucket scheme, plus the cumulative nanosecond sum, ready
+// for the telemetry exporter.
+func (db *DB) WALFsyncLatency() (monitor.LatencyCounts, int64) {
+	var lc monitor.LatencyCounts
+	if db.wal == nil {
+		return lc, 0
+	}
+	b, sum := db.wal.FsyncLatency()
+	copy(lc[:], b[:])
+	return lc, sum
 }
 
 // SystemStats is the engine-wide statistics sample the IMA statistics
@@ -319,12 +395,17 @@ type SystemStats struct {
 	CacheEvictions  int64
 	CacheResident   int64
 	PinWaits        int64
+	WALBytes        int64 // bytes appended to the WAL
+	WALFsyncs       int64 // WAL fsyncs issued (group commit amortizes these)
+	RedoRecords     int64 // WAL records replayed (redo + undo) at the last Open
+	RedoNanos       int64 // wallclock nanoseconds of the last recovery pass
 }
 
 // Stats samples the engine-wide statistics.
 func (db *DB) Stats() SystemStats {
 	ls := db.locks.Stats()
 	ps := db.pool.Stats()
+	ws := db.wal.Stats()
 	return SystemStats{
 		CurrentSessions: db.currentSessions.Load(),
 		PeakSessions:    db.peakSessions.Load(),
@@ -340,6 +421,10 @@ func (db *DB) Stats() SystemStats {
 		CacheEvictions:  ps.Evictions,
 		CacheResident:   ps.Resident,
 		PinWaits:        ps.PinWaits,
+		WALBytes:        ws.Bytes,
+		WALFsyncs:       ws.Fsyncs,
+		RedoRecords:     db.redo.Redo + db.redo.Undo,
+		RedoNanos:       db.redo.Nanos,
 	}
 }
 

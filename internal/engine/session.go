@@ -15,6 +15,7 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/sqlparser"
 	"repro/internal/sqltypes"
+	"repro/internal/storage"
 )
 
 const (
@@ -35,6 +36,10 @@ type Session struct {
 	id     int64
 	closed bool
 	inTxn  bool
+	// wtx is the WAL transaction covering the session's current write
+	// scope: one statement in autocommit, Begin..Commit otherwise. It
+	// holds the WAL's DDL gate (read side) for its lifetime.
+	wtx *storage.WalTxn
 	// batchExec selects the vectorized batch pipeline for SELECTs
 	// (default). The row-at-a-time path is kept for comparison and as
 	// the reference semantics; both produce identical results, tuple
@@ -49,18 +54,49 @@ func (s *Session) SetBatchExec(on bool) { s.batchExec = on }
 // Begin starts a transaction: locks are held until Commit or Rollback.
 func (s *Session) Begin() { s.inTxn = true }
 
-// Commit ends the transaction and releases its locks.
-func (s *Session) Commit() {
+// Commit ends the transaction, waits for its WAL records to be durable
+// (parking on the group-commit flusher) and releases its locks. The
+// returned error is a durability failure: the changes may not survive
+// a crash. The WAL finish happens strictly before the lock release, so
+// a later transaction's log records can never be durable while this
+// one still looks in-flight.
+func (s *Session) Commit() error {
+	err := s.finishWalTxn(true)
 	s.inTxn = false
 	s.db.locks.ReleaseAll(s.id)
+	return err
 }
 
 // Rollback ends the transaction and releases its locks. Data changes
 // are not undone — the engine provides lock isolation, not MVCC
-// rollback (the paper's experiments only need the locking system).
+// rollback (the paper's experiments only need the locking system). The
+// WAL therefore records a rollback as a finished transaction too; only
+// transactions cut off by a crash are undone during recovery.
 func (s *Session) Rollback() {
+	s.finishWalTxn(false)
 	s.inTxn = false
 	s.db.locks.ReleaseAll(s.id)
+}
+
+// ensureWalTxn opens the session's WAL transaction if none is active.
+// Called before the statement's table locks are taken: the WAL's DDL
+// gate is ordered strictly before table locks, everywhere.
+func (s *Session) ensureWalTxn() {
+	if s.wtx == nil {
+		s.wtx = s.db.wal.Begin()
+	}
+}
+
+// finishWalTxn closes the session's WAL transaction, logging the
+// after-images and finish record; wait additionally blocks until they
+// are durable. Must precede any lock release.
+func (s *Session) finishWalTxn(wait bool) error {
+	t := s.wtx
+	if t == nil {
+		return nil
+	}
+	s.wtx = nil
+	return t.Commit(wait)
 }
 
 // NewSession opens a session.
@@ -92,12 +128,14 @@ func (s *Session) runPrepared(prep *executor.Prepared, ctx *executor.Ctx) ([]sql
 	return executor.Collect(it)
 }
 
-// Close releases the session.
+// Close releases the session. An open transaction is finished without
+// a durability wait: its effects stay in place (as with Rollback).
 func (s *Session) Close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
+	s.finishWalTxn(false)
 	s.db.locks.ReleaseAll(s.id)
 	s.db.currentSessions.Add(-1)
 }
@@ -131,6 +169,40 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	tables := sqlparser.ReferencedTables(stmt)
 	h.Parsed(stmt.Kind(), tables)
 
+	var isDML, isDDL bool
+	switch stmt.(type) {
+	case *sqlparser.InsertStmt, *sqlparser.UpdateStmt, *sqlparser.DeleteStmt:
+		isDML = true
+	case *sqlparser.CreateTableStmt, *sqlparser.DropTableStmt,
+		*sqlparser.CreateIndexStmt, *sqlparser.DropIndexStmt, *sqlparser.ModifyStmt:
+		isDDL = true
+	}
+
+	var ddlRelease func()
+	if isDDL {
+		// DDL implicitly commits the open transaction, then runs alone
+		// behind the WAL's exclusive gate: no logged transaction spans a
+		// file rebuild, so recovery can never replay a stale pre-rebuild
+		// image onto the new file. The gate is acquired before any table
+		// lock, matching the global gate-before-locks order.
+		if err := s.finishWalTxn(true); err != nil {
+			h.Finish(0, 0, 0, err)
+			return nil, err
+		}
+		s.inTxn = false
+		db.locks.ReleaseAll(s.id)
+		ddlRelease = db.wal.BeginExclusive()
+		defer func() {
+			if ddlRelease != nil {
+				ddlRelease()
+			}
+		}()
+	} else if isDML || s.inTxn {
+		// The WAL transaction (and with it the DDL gate's read side) is
+		// opened before the first table lock — same global order.
+		s.ensureWalTxn()
+	}
+
 	// Lock acquisition, in sorted order to reduce deadlocks. Virtual
 	// tables are lock-free snapshots.
 	mode := lockX
@@ -150,7 +222,10 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	sort.Strings(locked)
 	for _, t := range locked {
 		if err := db.locks.Acquire(s.id, t, mode); err != nil {
-			// A deadlock victim aborts its whole transaction.
+			// A deadlock victim aborts its whole transaction. The WAL
+			// finish lands before the lock release so no later
+			// transaction can commit over a still-open one.
+			s.finishWalTxn(false)
 			db.locks.ReleaseAll(s.id)
 			s.inTxn = false
 			h.Finish(0, 0, 0, err)
@@ -180,13 +255,31 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	case *sqlparser.CreateStatisticsStmt:
 		res, err = db.execCreateStatistics(st)
 	case *sqlparser.InsertStmt:
-		res, err = db.execInsert(st, parsed.Params, &h)
+		res, err = db.execInsert(st, parsed.Params, s.wtx, &h)
 	case *sqlparser.UpdateStmt:
-		res, err = db.execUpdate(st, parsed.Params, &h)
+		res, err = db.execUpdate(st, parsed.Params, s.wtx, &h)
 	case *sqlparser.DeleteStmt:
-		res, err = db.execDelete(st, parsed.Params, &h)
+		res, err = db.execDelete(st, parsed.Params, s.wtx, &h)
 	default:
 		err = fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+	if !s.inTxn && !isDDL {
+		// Autocommit: finish the statement's WAL transaction — waiting
+		// for durability on success — before the deferred lock release.
+		if ferr := s.finishWalTxn(err == nil); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	if isDDL && err == nil {
+		// DDL bypasses the log (its file rebuilds are made durable
+		// wholesale): checkpoint under the exclusive gate so the new
+		// files and catalog hit disk and the redo scan start moves past
+		// every pre-DDL record.
+		err = db.Checkpoint()
+	}
+	if ddlRelease != nil {
+		ddlRelease()
+		ddlRelease = nil
 	}
 	if err != nil {
 		h.Finish(0, 0, 0, err)

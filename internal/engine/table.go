@@ -86,6 +86,34 @@ func storageKey(meta *catalog.Table) []string {
 	return meta.PrimaryKey
 }
 
+// attachWalTxn points every file of the table at the WAL transaction
+// that is about to mutate it, so Page.WillModify captures before-images
+// for t. Returns the detach func; callers defer it for the statement's
+// duration. The caller holds the table's X lock, which is what makes
+// the plain curTxn field race-free. A nil t attaches nothing (unlogged
+// paths: DDL rebuilds behind the exclusive gate).
+func (db *DB) attachWalTxn(h *tableHandle, t *storage.WalTxn) func() {
+	if t == nil {
+		return func() {}
+	}
+	files := make([]*storage.File, 0, 2+len(h.indexes))
+	files = append(files, h.heap.File())
+	if h.primary != nil {
+		files = append(files, h.primary.File())
+	}
+	for _, ix := range h.indexes {
+		files = append(files, ix.File())
+	}
+	for _, f := range files {
+		f.SetWALTxn(t)
+	}
+	return func() {
+		for _, f := range files {
+			f.SetWALTxn(nil)
+		}
+	}
+}
+
 // insertRow inserts a coerced row into the table, maintaining the
 // primary structure and all secondary indexes. Uniqueness is enforced
 // by unique secondary indexes (the auto-created pk_<table> index), not
@@ -193,19 +221,34 @@ func (db *DB) BulkInsert(table string, rows []sqltypes.Row) error {
 	if h == nil {
 		return fmt.Errorf("engine: unknown table %q", table)
 	}
+	// The WAL transaction (gate read side) is opened before the table
+	// lock — same order as Session.Exec.
+	wtx := db.wal.Begin()
 	session := db.nextSession.Add(1)
 	if err := db.locks.Acquire(session, strings.ToLower(table), lockX); err != nil {
+		wtx.Commit(false)
 		return err
 	}
 	defer db.locks.ReleaseAll(session)
+	detach := db.attachWalTxn(h, wtx)
+	var err error
 	for _, row := range rows {
-		coerced, err := coerceRow(h.meta.Schema, row)
-		if err != nil {
-			return err
+		var coerced sqltypes.Row
+		if coerced, err = coerceRow(h.meta.Schema, row); err != nil {
+			break
 		}
-		if _, err := db.insertRow(h, coerced); err != nil {
-			return err
+		if _, err = db.insertRow(h, coerced); err != nil {
+			break
 		}
+	}
+	detach()
+	// Finish (and on success wait out) the WAL transaction before the
+	// deferred lock release.
+	if ferr := wtx.Commit(err == nil); ferr != nil && err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return err
 	}
 	db.syncMeta(h)
 	return nil
@@ -414,7 +457,7 @@ func (db *DB) rebuildTable(h *tableHandle, structure catalog.Structure, keyCols 
 		h.primary = nil
 	}
 	if structure == catalog.BTree {
-		pf, err := storage.OpenFile(db.primaryPath(h.meta.Name), db.pool)
+		pf, err := db.newFile(db.primaryPath(h.meta.Name))
 		if err != nil {
 			return err
 		}
@@ -430,7 +473,7 @@ func (db *DB) rebuildTable(h *tableHandle, structure catalog.Structure, keyCols 
 		if err := bt.File().Remove(); err != nil {
 			return err
 		}
-		xf, err := storage.OpenFile(db.indexPath(name), db.pool)
+		xf, err := db.newFile(db.indexPath(name))
 		if err != nil {
 			return err
 		}

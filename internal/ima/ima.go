@@ -224,6 +224,10 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 				sqltypes.Column{Name: "cache_evictions", Type: sqltypes.Int},
 				sqltypes.Column{Name: "cache_resident", Type: sqltypes.Int},
 				sqltypes.Column{Name: "pin_waits", Type: sqltypes.Int},
+				sqltypes.Column{Name: "wal_bytes", Type: sqltypes.Int},
+				sqltypes.Column{Name: "wal_fsyncs", Type: sqltypes.Int},
+				sqltypes.Column{Name: "redo_records", Type: sqltypes.Int},
+				sqltypes.Column{Name: "redo_nanos", Type: sqltypes.Int},
 			),
 			provider: func() []sqltypes.Row {
 				st := db.Stats()
@@ -242,6 +246,10 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 					sqltypes.NewInt(st.CacheEvictions),
 					sqltypes.NewInt(st.CacheResident),
 					sqltypes.NewInt(st.PinWaits),
+					sqltypes.NewInt(st.WALBytes),
+					sqltypes.NewInt(st.WALFsyncs),
+					sqltypes.NewInt(st.RedoRecords),
+					sqltypes.NewInt(st.RedoNanos),
 				}}
 			},
 		},

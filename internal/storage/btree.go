@@ -29,7 +29,7 @@ const (
 
 // MaxEntrySize bounds len(key)+len(value) for a single B-Tree entry so
 // that at least three entries fit per node, keeping splits well-formed.
-const MaxEntrySize = (PageSize-btHeaderSize)/3 - btSlotSize
+const MaxEntrySize = (PageDataSize-btHeaderSize)/3 - btSlotSize
 
 func btType(d []byte) byte       { return d[0] }
 func btCount(d []byte) int       { return int(binary.LittleEndian.Uint16(d[2:4])) }
@@ -87,7 +87,7 @@ func btSearch(d []byte, target []byte) (int, bool) {
 func btFreeSpace(d []byte) int {
 	free := btFreeEnd(d)
 	if free == 0 {
-		free = PageSize
+		free = PageDataSize // fresh zero page; entries stop short of the LSN trailer
 	}
 	return free - btHeaderSize - btCount(d)*btSlotSize
 }
@@ -97,7 +97,7 @@ func btFreeSpace(d []byte) int {
 func btInsertAt(d []byte, i int, key, val []byte) bool {
 	need := btSlotSize + len(key) + len(val)
 	if btFreeSpace(d) < need {
-		if btLiveSpace(d)+need > PageSize-btHeaderSize {
+		if btLiveSpace(d)+need > PageDataSize-btHeaderSize {
 			return false
 		}
 		btCompact(d)
@@ -108,7 +108,7 @@ func btInsertAt(d []byte, i int, key, val []byte) bool {
 	n := btCount(d)
 	free := btFreeEnd(d)
 	if free == 0 {
-		free = PageSize
+		free = PageDataSize
 	}
 	off := free - len(key) - len(val)
 	copy(d[off:], key)
@@ -149,7 +149,7 @@ func btCompact(d []byte) {
 	for i := 0; i < n; i++ {
 		ents[i] = ent{append([]byte(nil), btKey(d, i)...), append([]byte(nil), btVal(d, i)...)}
 	}
-	free := PageSize
+	free := PageDataSize
 	for i, e := range ents {
 		free -= len(e.k) + len(e.v)
 		copy(d[free:], e.k)
@@ -186,8 +186,12 @@ func CreateBTree(file *File) (*BTree, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := p.WillModify(); err != nil {
+		p.Release()
+		return nil, err
+	}
 	btSetType(p.Data, btLeaf)
-	btSetFreeEnd(p.Data, PageSize)
+	btSetFreeEnd(p.Data, PageDataSize)
 	p.MarkDirty()
 	p.Release()
 	if err := t.writeMeta(); err != nil {
@@ -216,6 +220,10 @@ func OpenBTree(file *File) (*BTree, error) {
 func (t *BTree) writeMeta() error {
 	p, err := t.file.GetPage(0)
 	if err != nil {
+		return err
+	}
+	if err := p.WillModify(); err != nil {
+		p.Release()
 		return err
 	}
 	binary.LittleEndian.PutUint32(p.Data[0:4], btMagic)
@@ -314,12 +322,16 @@ func (t *BTree) Put(key, val []byte) error {
 		if err != nil {
 			return err
 		}
+		if err := p.WillModify(); err != nil {
+			p.Release()
+			return err
+		}
 		d := p.Data
-		for i := range d {
-			d[i] = 0
+		for i := range d[:PageDataSize] {
+			d[i] = 0 // the LSN trailer survives the rebuild
 		}
 		btSetType(d, btInternal)
-		btSetFreeEnd(d, PageSize)
+		btSetFreeEnd(d, PageDataSize)
 		btSetNext(d, t.root)
 		var child [4]byte
 		binary.LittleEndian.PutUint32(child[:], res.newPage)
@@ -342,6 +354,10 @@ func (t *BTree) put(page uint32, key, val []byte) (splitResult, bool, error) {
 	d := p.Data
 	if btType(d) == btLeaf {
 		i, exact := btSearch(d, key)
+		if err := p.WillModify(); err != nil {
+			p.Release()
+			return splitResult{}, false, err
+		}
 		if exact {
 			btRemoveAt(d, i)
 			if !btInsertAt(d, i, key, val) {
@@ -376,6 +392,10 @@ func (t *BTree) put(page uint32, key, val []byte) (splitResult, bool, error) {
 	i, _ := btSearch(d, res.sepKey)
 	var child [4]byte
 	binary.LittleEndian.PutUint32(child[:], res.newPage)
+	if err := p.WillModify(); err != nil {
+		p.Release()
+		return splitResult{}, inserted, err
+	}
 	if btInsertAt(d, i, res.sepKey, child[:]) {
 		p.MarkDirty()
 		p.Release()
@@ -399,6 +419,11 @@ func (t *BTree) splitLeaf(p *Page, page uint32, i int, key, val []byte) (splitRe
 	np, err := t.file.GetPage(newPage)
 	if err != nil {
 		p.Release()
+		return splitResult{}, err
+	}
+	if err := np.WillModify(); err != nil {
+		p.Release()
+		np.Release()
 		return splitResult{}, err
 	}
 
@@ -428,6 +453,11 @@ func (t *BTree) splitInternal(p *Page, page uint32, i int, key, child []byte) (s
 	np, err := t.file.GetPage(newPage)
 	if err != nil {
 		p.Release()
+		return splitResult{}, err
+	}
+	if err := np.WillModify(); err != nil {
+		p.Release()
+		np.Release()
 		return splitResult{}, err
 	}
 
@@ -496,12 +526,12 @@ func splitPoint(ents []btEnt) int {
 // rebuildNode rewrites d as a node of the given type containing ents,
 // with the given next pointer.
 func rebuildNode(d []byte, typ byte, next uint32, ents []btEnt) {
-	for i := range d {
-		d[i] = 0
+	for i := range d[:PageDataSize] {
+		d[i] = 0 // the LSN trailer survives the rebuild
 	}
 	btSetType(d, typ)
 	btSetNext(d, next)
-	btSetFreeEnd(d, PageSize)
+	btSetFreeEnd(d, PageDataSize)
 	for i, e := range ents {
 		btInsertAt(d, i, e.k, e.v)
 	}
@@ -522,6 +552,10 @@ func (t *BTree) Delete(key []byte) (bool, error) {
 			if !exact {
 				p.Release()
 				return false, nil
+			}
+			if err := p.WillModify(); err != nil {
+				p.Release()
+				return false, err
 			}
 			btRemoveAt(d, i)
 			p.MarkDirty()

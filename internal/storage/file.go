@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 )
@@ -17,7 +18,16 @@ var nextFileID atomic.Uint32
 type File struct {
 	id   uint32
 	path string
+	base string // filepath.Base(path): the stable name WAL records carry
 	pool *Pool
+
+	// wal, when set, makes every write-back of this file's pages wait
+	// for the WAL to be durable up to the page's LSN, and curTxn (the
+	// session transaction currently mutating this file, set under the
+	// table's exclusive lock) receives before-image capture calls from
+	// Page.WillModify.
+	wal    *WAL
+	curTxn *WalTxn
 
 	mu    sync.Mutex
 	f     *os.File
@@ -42,10 +52,32 @@ func OpenFile(path string, pool *Pool) (*File, error) {
 	return &File{
 		id:    nextFileID.Add(1),
 		path:  path,
+		base:  filepath.Base(path),
 		pool:  pool,
 		f:     f,
 		pages: uint32(st.Size() / PageSize),
 	}, nil
+}
+
+// AttachWAL wires the file into the write-ahead log: page write-backs
+// respect the WAL-before-data barrier and WillModify routes to the
+// current transaction. Must be called before any page of the file is
+// modified under logging.
+func (f *File) AttachWAL(w *WAL) { f.wal = w }
+
+// SetWALTxn points WillModify at the transaction currently mutating
+// this file. Callers hold the owning table's exclusive lock, which is
+// what makes the plain field safe.
+func (f *File) SetWALTxn(t *WalTxn) { f.curTxn = t }
+
+// walBarrier enforces WAL-before-data: the page image about to be
+// written carries its last LSN in the trailer, and the log must be
+// durable at least that far before the page may reach disk.
+func (f *File) walBarrier(data []byte) error {
+	if f.wal == nil {
+		return nil
+	}
+	return f.wal.syncTo(PageLSN(data))
 }
 
 // Path returns the file's path on disk.
@@ -114,7 +146,11 @@ func (f *File) Sync() error {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.f.Sync()
+	if err := f.f.Sync(); err != nil {
+		return err
+	}
+	f.pool.fsyncs.Add(1)
+	return nil
 }
 
 // Close flushes and closes the file.
@@ -175,6 +211,17 @@ func (f *File) PinPage(page uint32, p *Page) error {
 
 // MarkDirty records that the caller modified the page.
 func (p *Page) MarkDirty() { p.dirty = true }
+
+// WillModify must be called before mutating the page's bytes. When a
+// logged transaction owns the file it captures the before-image (once
+// per page per transaction) and stamps the page LSN; otherwise it is
+// free. Mutators still call MarkDirty as before.
+func (p *Page) WillModify() error {
+	if p.f == nil || p.f.wal == nil {
+		return nil
+	}
+	return p.f.curTxn.captureBefore(p)
+}
 
 // Release unpins the page. The unpin is lock-free: it touches only
 // the frame's own atomics, never a pool or shard lock.

@@ -57,7 +57,7 @@ func setSlotEntry(d []byte, i, off, length int) {
 func pageFreeSpace(d []byte) int {
 	free := pageFreeEnd(d)
 	if free == 0 {
-		free = PageSize // fresh zero page
+		free = PageDataSize // fresh zero page; records stop short of the LSN trailer
 	}
 	used := heapHeaderSize + pageSlotCount(d)*slotSize
 	return free - used
@@ -65,7 +65,7 @@ func pageFreeSpace(d []byte) int {
 
 // MaxRecordSize is the largest record a heap page (or B-Tree entry) can
 // hold. Records above this are rejected at insert time.
-const MaxRecordSize = PageSize - heapHeaderSize - slotSize - 64
+const MaxRecordSize = PageDataSize - heapHeaderSize - slotSize - 64
 
 // Heap is an unordered record file: the Ingres HEAP storage structure.
 // Pages allocated before FinishLoad (or up to MainPages at creation)
@@ -140,8 +140,11 @@ func (h *Heap) Insert(rec []byte) (TID, error) {
 			return 0, err
 		}
 		if pageFreeSpace(p.Data) >= need {
-			tid := insertIntoPage(p, h.lastPage, rec)
+			tid, err := insertIntoPage(p, h.lastPage, rec)
 			p.Release()
+			if err != nil {
+				return 0, err
+			}
 			h.rows++
 			return tid, nil
 		}
@@ -154,12 +157,15 @@ func (h *Heap) Insert(rec []byte) (TID, error) {
 	}
 }
 
-func insertIntoPage(p *Page, pageNo uint32, rec []byte) TID {
+func insertIntoPage(p *Page, pageNo uint32, rec []byte) (TID, error) {
+	if err := p.WillModify(); err != nil {
+		return 0, err
+	}
 	d := p.Data
 	n := pageSlotCount(d)
 	free := pageFreeEnd(d)
 	if free == 0 {
-		free = PageSize
+		free = PageDataSize
 	}
 	off := free - len(rec)
 	copy(d[off:], rec)
@@ -167,7 +173,7 @@ func insertIntoPage(p *Page, pageNo uint32, rec []byte) TID {
 	setSlotCount(d, n+1)
 	setFreeEnd(d, off)
 	p.MarkDirty()
-	return NewTID(pageNo, uint16(n))
+	return NewTID(pageNo, uint16(n)), nil
 }
 
 // Get returns the record stored at tid, or ok=false if it was deleted.
@@ -207,6 +213,9 @@ func (h *Heap) Delete(tid TID) error {
 	if off == deadSlot {
 		return nil
 	}
+	if err := p.WillModify(); err != nil {
+		return err
+	}
 	setSlotEntry(p.Data, int(tid.Slot()), deadSlot, length)
 	p.MarkDirty()
 	h.rows--
@@ -223,6 +232,10 @@ func (h *Heap) Update(tid TID, rec []byte) (TID, error) {
 	}
 	off, length := slotEntry(p.Data, int(tid.Slot()))
 	if off != deadSlot && len(rec) <= length {
+		if err := p.WillModify(); err != nil {
+			p.Release()
+			return 0, err
+		}
 		copy(p.Data[off:off+len(rec)], rec)
 		setSlotEntry(p.Data, int(tid.Slot()), off, len(rec))
 		p.MarkDirty()
@@ -230,6 +243,10 @@ func (h *Heap) Update(tid TID, rec []byte) (TID, error) {
 		return tid, nil
 	}
 	if off != deadSlot {
+		if err := p.WillModify(); err != nil {
+			p.Release()
+			return 0, err
+		}
 		setSlotEntry(p.Data, int(tid.Slot()), deadSlot, length)
 		p.MarkDirty()
 	}
@@ -269,6 +286,7 @@ func (h *Heap) Scan(fn func(tid TID, rec []byte) (bool, error)) error {
 func (h *Heap) Truncate() error {
 	path := h.file.Path()
 	pool := h.file.pool
+	wal := h.file.wal
 	if err := h.file.Remove(); err != nil {
 		return err
 	}
@@ -276,12 +294,18 @@ func (h *Heap) Truncate() error {
 	if err != nil {
 		return err
 	}
+	nf.wal = wal // keep the WAL-before-data barrier across the rebuild
 	h.file = nf
 	h.rows = 0
 	h.lastPage = 0
 	h.mainPages = 1
 	return nil
 }
+
+// ResetRows overrides the in-memory row count. Crash recovery recounts
+// rows by scanning after redo and calls this to resynchronize the
+// counter the catalog persists.
+func (h *Heap) ResetRows(n int64) { h.rows = n }
 
 // RecBatch is a reusable batch of raw heap records. Recs slices alias
 // the page frames the filling iterator keeps pinned for the life of

@@ -24,6 +24,7 @@ type PoolStats struct {
 	Evictions int64 // frames evicted to make room
 	PinWaits  int64 // backpressure waits because every frame in a shard was pinned
 	Resident  int64 // pages currently cached (gauge)
+	Fsyncs    int64 // data-file fsyncs issued through File.Sync
 }
 
 type pageKey struct {
@@ -53,6 +54,7 @@ type frame struct {
 	pins  atomic.Int32  // > 0 blocks eviction
 	ref   atomic.Uint32 // clock reference bit (second chance)
 	dirty atomic.Uint32 // needs write-back before eviction
+	lsn   atomic.Uint64 // page-LSN trailer mirror; gates write-back behind the WAL
 	data  [PageSize]byte
 }
 
@@ -142,6 +144,8 @@ type Pool struct {
 	// reporting exhaustion, counting each wait in PinWaits.
 	pinWaitStep time.Duration
 	pinWaitMax  time.Duration
+
+	fsyncs atomic.Int64 // data-file fsyncs (incremented by File.Sync)
 }
 
 // NewPool creates a buffer pool holding up to capacity pages. Capacity
@@ -200,6 +204,7 @@ func (p *Pool) Stats() PoolStats {
 		st.PinWaits += sh.pinWaits.Load()
 		st.Resident += sh.resident.Load()
 	}
+	st.Fsyncs = p.fsyncs.Load()
 	return st
 }
 
@@ -285,7 +290,12 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 				wb := &pendingWrite{done: make(chan struct{})}
 				sh.writing[victim.key] = wb
 				sh.mu.Unlock()
-				werr := victim.file.writePage(victim.key.page, victim.data[:])
+				// WAL-before-data: the victim's image must not reach disk
+				// before the log records that produced it are durable.
+				werr := victim.file.walBarrier(victim.data[:])
+				if werr == nil {
+					werr = victim.file.writePage(victim.key.page, victim.data[:])
+				}
 				sh.mu.Lock()
 				delete(sh.writing, victim.key)
 				if werr != nil {
@@ -324,6 +334,9 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 		fr.pins.Store(1)
 		fr.ref.Store(1)
 		n, err := f.readPage(page, fr.data[:])
+		if err == nil && f.wal != nil {
+			fr.lsn.Store(PageLSN(fr.data[:]))
+		}
 
 		sh.mu.Lock()
 		delete(sh.loading, key)
@@ -503,7 +516,12 @@ func (p *Pool) flushFrame(f *File, fr *frame, buf *[PageSize]byte) error {
 		copy(buf[:], fr.data[:])
 		sh.mu.Unlock()
 
-		err := f.writePage(fr.key.page, buf[:])
+		// WAL-before-data: hold the page write until the log covering
+		// its trailer LSN is durable.
+		err := f.walBarrier(buf[:])
+		if err == nil {
+			err = f.writePage(fr.key.page, buf[:])
+		}
 		if err == nil {
 			sh.diskWrite.Add(1)
 		}

@@ -66,7 +66,8 @@ func MonitorSource(m *monitor.Monitor) Source {
 func EngineSource(db *engine.DB) Source {
 	return func() []Metric {
 		st := db.Stats()
-		return []Metric{
+		lc, fsyncSumNanos := db.WALFsyncLatency()
+		ms := []Metric{
 			{Name: "engine_sessions_current", Help: "Open sessions.", Kind: Gauge, Value: float64(st.CurrentSessions)},
 			{Name: "engine_sessions_peak", Help: "Peak concurrent sessions.", Kind: Gauge, Value: float64(st.PeakSessions)},
 			{Name: "engine_statements_total", Help: "Statements executed.", Kind: Counter, Value: float64(st.Statements)},
@@ -81,7 +82,14 @@ func EngineSource(db *engine.DB) Source {
 			{Name: "engine_cache_evictions_total", Help: "Buffer pool frames evicted to make room.", Kind: Counter, Value: float64(st.CacheEvictions)},
 			{Name: "engine_cache_resident", Help: "Pages currently cached in the buffer pool.", Kind: Gauge, Value: float64(st.CacheResident)},
 			{Name: "engine_cache_pin_waits_total", Help: "Backpressure waits on a fully pinned pool shard.", Kind: Counter, Value: float64(st.PinWaits)},
+			{Name: "engine_wal_bytes_total", Help: "Bytes appended to the write-ahead log.", Kind: Counter, Value: float64(st.WALBytes)},
+			{Name: "engine_wal_fsyncs_total", Help: "WAL fsyncs issued (group commit amortizes these).", Kind: Counter, Value: float64(st.WALFsyncs)},
+			{Name: "engine_redo_records", Help: "WAL records replayed (redo + undo) by crash recovery at the last open.", Kind: Gauge, Value: float64(st.RedoRecords)},
+			{Name: "engine_redo_nanos", Help: "Wallclock nanoseconds of the last crash-recovery pass.", Kind: Gauge, Value: float64(st.RedoNanos)},
 		}
+		ms = append(ms, HistogramMetrics("engine_wal_fsync_ns",
+			"WAL fsync latency in nanoseconds.", &lc, float64(fsyncSumNanos))...)
+		return ms
 	}
 }
 

@@ -277,7 +277,7 @@ func TestMetricsAgreeWithWsStatistics(t *testing.T) {
 	ws := target.NewSession()
 	defer ws.Close()
 	res, err := ws.Exec("SELECT statements, poll_errors, retries, carryover_depth, alert_errors, " +
-		"cache_evictions, cache_resident, pin_waits FROM " +
+		"cache_evictions, cache_resident, pin_waits, wal_bytes, wal_fsyncs, redo_records, redo_nanos FROM " +
 		workloaddb.Statistics + " ORDER BY ts_us DESC LIMIT 1")
 	if err != nil {
 		t.Fatal(err)
@@ -299,6 +299,10 @@ func TestMetricsAgreeWithWsStatistics(t *testing.T) {
 		{"engine_cache_evictions_total", "cache_evictions", row[5].I},
 		{"engine_cache_resident", "cache_resident", row[6].I},
 		{"engine_cache_pin_waits_total", "pin_waits", row[7].I},
+		{"engine_wal_bytes_total", "wal_bytes", row[8].I},
+		{"engine_wal_fsyncs_total", "wal_fsyncs", row[9].I},
+		{"engine_redo_records", "redo_records", row[10].I},
+		{"engine_redo_nanos", "redo_nanos", row[11].I},
 	}
 	for _, c := range checks {
 		if got := metricValue(t, body, c.metric); got != float64(c.want) {

@@ -65,7 +65,8 @@ var schemaDDL = []string{
 		locks_held BIGINT, lock_waits BIGINT, deadlocks BIGINT, cache_hits BIGINT,
 		cache_misses BIGINT, disk_reads BIGINT, disk_writes BIGINT, db_bytes BIGINT,
 		poll_errors BIGINT, retries BIGINT, carryover_depth BIGINT, alert_errors BIGINT,
-		cache_evictions BIGINT, cache_resident BIGINT, pin_waits BIGINT)`,
+		cache_evictions BIGINT, cache_resident BIGINT, pin_waits BIGINT,
+		wal_bytes BIGINT, wal_fsyncs BIGINT, redo_records BIGINT, redo_nanos BIGINT)`,
 	// One row per non-empty histogram bucket per poll. Counts are
 	// cumulative since monitor start (counter semantics, like
 	// Prometheus); the analyzer differences successive snapshots to get
