@@ -18,9 +18,11 @@
 package analyzer
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/charts"
 	"repro/internal/engine"
@@ -36,8 +38,9 @@ const (
 	KindStatistics Kind = "collect-statistics"
 	KindModify     Kind = "modify-to-btree"
 	KindIndex      Kind = "create-index"
-	// KindBufferPool is report-level only: resizing the pool requires a
-	// restart, so Apply never executes it.
+	// KindBufferPool is executed by the Applier as a live resize
+	// (engine.ResizePool); plain Apply still skips it because there is
+	// no SQL statement to run.
 	KindBufferPool Kind = "enlarge-buffer-pool"
 )
 
@@ -112,7 +115,14 @@ type Config struct {
 // Analyzer scans collected data and recommends design changes.
 type Analyzer struct {
 	cfg Config
+	// applyFailures counts recommendations that could not be executed
+	// (by Apply or by an Applier), surfaced through ws_statistics.
+	applyFailures atomic.Int64
 }
+
+// ApplyFailures returns the cumulative count of recommendations whose
+// execution failed.
+func (a *Analyzer) ApplyFailures() int64 { return a.applyFailures.Load() }
 
 // New validates the configuration.
 func New(cfg Config) (*Analyzer, error) {
@@ -403,7 +413,10 @@ func (a *Analyzer) renderCostDiagram(rep *Report) {
 // Apply executes the recommendations of the given kinds (all kinds if
 // none are named) against the source database, in the order MODIFY →
 // CREATE INDEX → CREATE STATISTICS so histograms reflect the final
-// physical layout.
+// physical layout. A failing recommendation does not stop the rest:
+// every one is attempted, failures are counted (see ApplyFailures) and
+// returned joined. For the canary/observe/rollback protocol use an
+// Applier instead.
 func (a *Analyzer) Apply(rep *Report, kinds ...Kind) error {
 	want := map[Kind]bool{}
 	if len(kinds) == 0 {
@@ -414,6 +427,7 @@ func (a *Analyzer) Apply(rep *Report, kinds ...Kind) error {
 	}
 	s := a.cfg.Source.NewSession()
 	defer s.Close()
+	var errs []error
 	order := []Kind{KindModify, KindIndex, KindStatistics}
 	for _, k := range order {
 		if !want[k] {
@@ -424,10 +438,11 @@ func (a *Analyzer) Apply(rep *Report, kinds ...Kind) error {
 				continue
 			}
 			if _, err := s.Exec(rec.SQL); err != nil {
-				return fmt.Errorf("analyzer: applying %q: %w", rec.SQL, err)
+				a.applyFailures.Add(1)
+				errs = append(errs, fmt.Errorf("analyzer: applying %q: %w", rec.SQL, err))
 			}
 		}
 	}
 	a.cfg.Source.InvalidatePlans()
-	return nil
+	return errors.Join(errs...)
 }

@@ -56,6 +56,12 @@ type Index struct {
 	Unique  bool      `json:"unique"`
 	Virtual bool      `json:"virtual"`
 	Created time.Time `json:"created"`
+	// Building marks an online index build in progress: the entry
+	// reserves the name but the index is invisible to the optimizer and
+	// to DML maintenance until the build publishes it. A Building entry
+	// found at engine open is a crashed build; recovery drops it and
+	// removes its file.
+	Building bool `json:"building,omitempty"`
 }
 
 // Catalog is the set of tables, indexes and histograms of one database.
@@ -301,6 +307,23 @@ func (c *Catalog) DropIndex(name string) error {
 	return c.saveLocked()
 }
 
+// FinishIndexBuild clears the Building flag on an online-built index,
+// publishing it to the optimizer and to DML maintenance, and persists
+// the catalog. The caller must have made the index file durable first.
+func (c *Catalog) FinishIndexBuild(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ix, ok := c.indexes[lower(name)]
+	if !ok {
+		return fmt.Errorf("catalog: index %s does not exist", name)
+	}
+	if !ix.Building {
+		return fmt.Errorf("catalog: index %s is not being built", name)
+	}
+	ix.Building = false
+	return c.saveLocked()
+}
+
 // TableIndexes returns the indexes on a table, sorted by name. Virtual
 // indexes are included only when withVirtual is set — the executor asks
 // without, the what-if optimizer with.
@@ -309,6 +332,9 @@ func (c *Catalog) TableIndexes(table string, withVirtual bool) []*Index {
 	defer c.mu.RUnlock()
 	var out []*Index
 	for _, ix := range c.indexes {
+		if ix.Building {
+			continue // half-built: invisible until the build publishes it
+		}
 		if lower(ix.Table) == lower(table) && (withVirtual || !ix.Virtual) {
 			out = append(out, ix)
 		}

@@ -55,6 +55,10 @@ type Options struct {
 	// the monitor's workload ring nears capacity (the in-core
 	// collection trigger of §IV-B) instead of waiting for the tick.
 	FlushOnFull bool
+	// Apply tunes the canary/observe/rollback state machine behind
+	// ApplyOnline (zero values take the analyzer defaults: 5 s windows,
+	// p95, 25% regression threshold).
+	Apply analyzer.ApplyConfig
 	// Logf receives daemon diagnostics: transient poll failures, retry
 	// scheduling, alert errors. nil discards them.
 	Logf func(format string, args ...any)
@@ -67,6 +71,10 @@ type System struct {
 	WorkloadDB *engine.DB
 	Daemon     *daemon.Daemon
 	Analyzer   *analyzer.Analyzer
+	// Applier executes recommendations through the canary/observe/
+	// rollback state machine; its audit trail backs ima_actions and
+	// ws_actions. Nil when monitoring is disabled.
+	Applier *analyzer.Applier
 	// Telemetry gathers monitor, engine and daemon metrics; serve it
 	// over HTTP with telemetry.Serve, or scrape it in-process. The
 	// same samples back the ima_health virtual table. Nil when
@@ -108,22 +116,6 @@ func Open(opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.WorkloadDB = wdb
-	d, err := daemon.New(daemon.Config{
-		Source:      db,
-		Mon:         sys.Monitor,
-		Target:      wdb,
-		Interval:    opts.DaemonInterval,
-		Retention:   opts.Retention,
-		Alerts:      opts.Alerts,
-		FlushOnFull: opts.FlushOnFull,
-		Logf:        opts.Logf,
-	})
-	if err != nil {
-		db.Close()
-		wdb.Close()
-		return nil, err
-	}
-	sys.Daemon = d
 	an, err := analyzer.New(analyzer.Config{Source: db, WorkloadDB: wdb})
 	if err != nil {
 		db.Close()
@@ -131,6 +123,31 @@ func Open(opts Options) (*System, error) {
 		return nil, err
 	}
 	sys.Analyzer = an
+	ap := an.NewApplier(opts.Apply)
+	sys.Applier = ap
+	if err := ima.RegisterActions(db, ap.ActionRows); err != nil {
+		db.Close()
+		wdb.Close()
+		return nil, err
+	}
+	d, err := daemon.New(daemon.Config{
+		Source:        db,
+		Mon:           sys.Monitor,
+		Target:        wdb,
+		Interval:      opts.DaemonInterval,
+		Retention:     opts.Retention,
+		Alerts:        opts.Alerts,
+		FlushOnFull:   opts.FlushOnFull,
+		Actions:       ap.ActionRows,
+		ApplyFailures: an.ApplyFailures,
+		Logf:          opts.Logf,
+	})
+	if err != nil {
+		db.Close()
+		wdb.Close()
+		return nil, err
+	}
+	sys.Daemon = d
 
 	// Telemetry plane: one registry over every component, served on
 	// demand by the commands and mirrored into ima_health so the same
@@ -140,6 +157,7 @@ func Open(opts Options) (*System, error) {
 	reg.Register("monitor", telemetry.MonitorSource(sys.Monitor))
 	reg.Register("engine", telemetry.EngineSource(db))
 	reg.Register("daemon", telemetry.DaemonSource(d))
+	reg.Register("tuning", telemetry.TuningSource(an, ap, db))
 	sys.Telemetry = reg
 	if err := ima.RegisterHealth(db, func() []ima.HealthMetric {
 		var hm []ima.HealthMetric
@@ -191,6 +209,19 @@ func (s *System) Apply(rep *analyzer.Report, kinds ...analyzer.Kind) error {
 		return fmt.Errorf("core: monitoring is disabled")
 	}
 	return s.Analyzer.Apply(rep, kinds...)
+}
+
+// ApplyOnline implements a report's recommendations through the
+// canary/observe/rollback state machine: index builds run online under
+// concurrent DML, buffer-pool recommendations become live resizes, and
+// actions whose canary window shows a tail-latency regression are
+// rolled back automatically. The audit trail is queryable as
+// ima_actions and persisted to ws_actions.
+func (s *System) ApplyOnline(rep *analyzer.Report, kinds ...analyzer.Kind) error {
+	if s.Applier == nil {
+		return fmt.Errorf("core: monitoring is disabled")
+	}
+	return s.Applier.ApplyOnline(rep, kinds...)
 }
 
 // Close shuts down both databases.

@@ -142,6 +142,14 @@ type Config struct {
 	// RefCacheCap bounds the reference dedup set; the oldest keys are
 	// evicted first (default DefaultRefCacheCap).
 	RefCacheCap int
+	// Actions, when set, returns the analyzer applier's audit trail;
+	// rows with Seq beyond the daemon's watermark are persisted into
+	// ws_actions each poll.
+	Actions func() []ima.ActionRow
+	// ApplyFailures, when set, supplies the apply_failures column of
+	// ws_statistics (the analyzer's count of recommendations whose
+	// execution failed).
+	ApplyFailures func() int64
 	// Logf receives diagnostics: transient poll failures, retry
 	// scheduling, alert errors. nil discards them.
 	Logf func(format string, args ...any)
@@ -198,6 +206,7 @@ type Daemon struct {
 	alertErrors atomic.Int64
 	carryDepth  atomic.Int64
 	carryDrops  atomic.Int64
+	actionSeq   atomic.Int64 // highest ws_actions Seq persisted
 
 	fullSignal chan struct{}
 }
@@ -407,6 +416,9 @@ func (d *Daemon) Poll() error {
 		errs = append(errs, err)
 	}
 	if err := d.appendLatency(target, ts); err != nil {
+		errs = append(errs, err)
+	}
+	if err := d.appendActions(target, ts); err != nil {
 		errs = append(errs, err)
 	}
 
@@ -682,8 +694,59 @@ func (d *Daemon) appendStatistics(x execTarget, ts int64) error {
 		sqltypes.NewInt(st.WALFsyncs),
 		sqltypes.NewInt(st.RedoRecords),
 		sqltypes.NewInt(st.RedoNanos),
+		// Autonomous-tuning column, appended last (positional
+		// compatibility).
+		sqltypes.NewInt(d.applyFailures()),
 	})
 	_, err := d.insertBatch(x, workloaddb.Statistics, []sqltypes.Row{row})
+	return err
+}
+
+// applyFailures reads the analyzer hook, tolerating an unwired config.
+func (d *Daemon) applyFailures() int64 {
+	if d.cfg.ApplyFailures == nil {
+		return 0
+	}
+	return d.cfg.ApplyFailures()
+}
+
+// appendActions persists new apply-state-machine audit rows (Seq beyond
+// the watermark) into ws_actions. The watermark advances only past rows
+// that actually landed, so an insert failure retries them next poll.
+func (d *Daemon) appendActions(x execTarget, ts int64) error {
+	if d.cfg.Actions == nil {
+		return nil
+	}
+	watermark := d.actionSeq.Load()
+	var rows []sqltypes.Row
+	var seqs []int64
+	for _, r := range d.cfg.Actions() {
+		if r.Seq <= watermark {
+			continue
+		}
+		seqs = append(seqs, r.Seq)
+		rows = append(rows, tsRow(ts, sqltypes.Row{
+			sqltypes.NewInt(r.Seq),
+			sqltypes.NewInt(r.ActionID),
+			sqltypes.NewText(r.Kind),
+			sqltypes.NewText(r.Target),
+			sqltypes.NewText(sqltypes.TruncateUTF8(r.SQL, workloaddb.StatementTextMax)),
+			sqltypes.NewText(r.State),
+			sqltypes.NewInt(r.Baseline),
+			sqltypes.NewInt(r.Observed),
+			sqltypes.NewFloat(r.DeltaPct),
+			sqltypes.NewInt(r.Samples),
+			sqltypes.NewInt(r.AtUs),
+			sqltypes.NewText(sqltypes.TruncateUTF8(r.Detail, workloaddb.StatementTextMax)),
+		}))
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	n, err := d.insertBatch(x, workloaddb.Actions, rows)
+	if n > 0 {
+		d.actionSeq.Store(seqs[n-1])
+	}
 	return err
 }
 

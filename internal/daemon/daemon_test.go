@@ -463,3 +463,49 @@ func TestMonitorFullHandlerRearms(t *testing.T) {
 		t.Fatalf("fires = %d after drain+fill", fires)
 	}
 }
+
+// TestPollPersistsActions: audit rows from the Actions hook land in
+// ws_actions exactly once — the Seq watermark prevents re-inserting
+// rows already persisted, and apply_failures flows into ws_statistics.
+func TestPollPersistsActions(t *testing.T) {
+	f := newFixture(t)
+	rows := []ima.ActionRow{
+		{Seq: 1, ActionID: 1, Kind: "create-index", Target: "t", SQL: "CREATE INDEX ix ON t (v) ONLINE", State: "proposed", AtUs: 100},
+		{Seq: 2, ActionID: 1, Kind: "create-index", Target: "t", SQL: "CREATE INDEX ix ON t (v) ONLINE", State: "accepted", Baseline: 50, Observed: 55, DeltaPct: 10, Samples: 40, AtUs: 200, Detail: "within threshold"},
+	}
+	var failures int64 = 3
+	d, err := New(Config{
+		Source: f.source, Mon: f.mon, Target: f.target,
+		Actions:       func() []ima.ActionRow { return rows },
+		ApplyFailures: func() int64 { return failures },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Poll(); err != nil {
+		t.Fatal(err)
+	}
+	// Second poll with one new row: only the new row is appended.
+	rows = append(rows, ima.ActionRow{Seq: 3, ActionID: 2, Kind: "enlarge-buffer-pool", Target: "bufferpool", State: "proposed", AtUs: 300})
+	if err := d.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := f.target.NewSession()
+	defer ts.Close()
+	res := exec(t, ts, "SELECT seq, state, detail FROM "+workloaddb.Actions)
+	if len(res.Rows) != 3 {
+		t.Fatalf("ws_actions has %d rows, want 3 (watermark must prevent duplicates)", len(res.Rows))
+	}
+	seen := map[int64]string{}
+	for _, r := range res.Rows {
+		seen[r[0].I] = r[1].S
+	}
+	if seen[1] != "proposed" || seen[2] != "accepted" || seen[3] != "proposed" {
+		t.Fatalf("unexpected ws_actions contents: %v", seen)
+	}
+	sres := exec(t, ts, "SELECT apply_failures FROM "+workloaddb.Statistics)
+	if len(sres.Rows) == 0 || sres.Rows[len(sres.Rows)-1][0].I != failures {
+		t.Fatalf("apply_failures not persisted in ws_statistics")
+	}
+}

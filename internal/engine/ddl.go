@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -85,27 +86,31 @@ func (db *DB) execDropTable(st *sqlparser.DropTableStmt) (*Result, error) {
 		}
 		return nil, fmt.Errorf("engine: table %s does not exist", st.Name)
 	}
-	if err := h.heap.File().Remove(); err != nil {
+	// Catalog first: once the entry is gone (and saved), a crash at any
+	// later point leaves at worst orphan files, which the open-time
+	// sweep removes — never a catalog pointing at missing files.
+	if err := db.cat.DropTable(st.Name); err != nil {
 		return nil, err
-	}
-	if h.primary != nil {
-		if err := h.primary.File().Remove(); err != nil {
-			return nil, err
-		}
-	}
-	for _, bt := range h.indexes {
-		if err := bt.File().Remove(); err != nil {
-			return nil, err
-		}
 	}
 	db.mu.Lock()
 	delete(db.tables, strings.ToLower(st.Name))
 	db.mu.Unlock()
-	if err := db.cat.DropTable(st.Name); err != nil {
-		return nil, err
-	}
 	db.plans.invalidate()
-	return &Result{}, nil
+	var errs []error
+	if err := h.heap.File().Remove(); err != nil {
+		errs = append(errs, err)
+	}
+	if h.primary != nil {
+		if err := h.primary.File().Remove(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	for _, bt := range h.indexes {
+		if err := bt.File().Remove(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return &Result{}, errors.Join(errs...)
 }
 
 func (db *DB) execCreateIndex(st *sqlparser.CreateIndexStmt) (*Result, error) {
@@ -129,50 +134,71 @@ func (db *DB) execCreateIndex(st *sqlparser.CreateIndexStmt) (*Result, error) {
 		db.plans.invalidate()
 		return &Result{}, nil
 	}
-	xf, err := db.newFile(db.indexPath(st.Name))
+	bt, err := db.buildIndexStorage(h, st.Name, st.Columns, st.Unique)
 	if err != nil {
-		db.cat.DropIndex(st.Name)
+		// Unified rollback: no failure may leak the on-disk file or the
+		// catalog entry (historically every build-loop error except the
+		// duplicate-key path did both). buildIndexStorage removed the
+		// file; drop the entry and flush plans that might have seen it.
+		if derr := db.cat.DropIndex(st.Name); derr != nil {
+			err = errors.Join(err, derr)
+		}
+		db.plans.invalidate()
 		return nil, err
-	}
-	bt, err := storage.CreateBTree(xf)
-	if err != nil {
-		db.cat.DropIndex(st.Name)
-		xf.Close()
-		return nil, err
-	}
-
-	// Build: scan the base table and insert every key.
-	it := h.heap.Iter()
-	for {
-		tid, rec, ok, err := it.Next()
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			break
-		}
-		row, err := sqltypes.DecodeRow(rec)
-		if err != nil {
-			return nil, err
-		}
-		key, err := keyFor(h.meta.Schema, row, st.Columns)
-		if err != nil {
-			return nil, err
-		}
-		if st.Unique && existsInRange(bt, key) {
-			bt.File().Remove()
-			db.cat.DropIndex(st.Name)
-			return nil, fmt.Errorf("engine: duplicate key while building unique index %s", st.Name)
-		}
-		if err := bt.Put(tidSuffix(key, tid), tidBytes(tid)); err != nil {
-			return nil, err
-		}
 	}
 	db.mu.Lock()
 	h.indexes[strings.ToLower(st.Name)] = bt
 	db.mu.Unlock()
 	db.plans.invalidate()
 	return &Result{}, nil
+}
+
+// buildIndexStorage creates the index file and backfills it with a
+// blocking scan of the base table (the caller holds the table's X lock
+// via the DDL path). On any error the file — and every pool frame
+// backing it — is removed before returning, so the caller only has the
+// catalog entry left to roll back.
+func (db *DB) buildIndexStorage(h *tableHandle, name string, cols []string, unique bool) (_ *storage.BTree, err error) {
+	xf, err := db.newFile(db.indexPath(name))
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if err != nil {
+			if rerr := xf.Remove(); rerr != nil {
+				err = errors.Join(err, rerr)
+			}
+		}
+	}()
+	bt, err := storage.CreateBTree(xf)
+	if err != nil {
+		return nil, err
+	}
+	it := h.heap.Iter()
+	for {
+		tid, rec, ok, nerr := it.Next()
+		if nerr != nil {
+			return nil, nerr
+		}
+		if !ok {
+			break
+		}
+		row, derr := sqltypes.DecodeRow(rec)
+		if derr != nil {
+			return nil, derr
+		}
+		key, kerr := keyFor(h.meta.Schema, row, cols)
+		if kerr != nil {
+			return nil, kerr
+		}
+		if unique && existsInRange(bt, key) {
+			return nil, fmt.Errorf("engine: duplicate key while building unique index %s", name)
+		}
+		if perr := bt.Put(tidSuffix(key, tid), tidBytes(tid)); perr != nil {
+			return nil, perr
+		}
+	}
+	return bt, nil
 }
 
 func (db *DB) execDropIndex(st *sqlparser.DropIndexStmt) (*Result, error) {

@@ -70,6 +70,10 @@ type tableHandle struct {
 	heap    *storage.Heap
 	primary *storage.BTree            // non-nil iff Structure == BTREE
 	indexes map[string]*storage.BTree // real secondary indexes by lower name
+	// sideLog, when non-nil, is the capture log of an online index
+	// build in progress on this table: insertRow/deleteRow append the
+	// index mutations the half-built index cannot receive yet.
+	sideLog atomic.Pointer[indexSideLog]
 }
 
 type virtualTable struct {
@@ -120,6 +124,13 @@ func Open(cfg Config) (*DB, error) {
 		virtual: map[string]*virtualTable{},
 		plans:   newPlanCache(cfg.PlanCacheSize),
 	}
+	// A Building index entry is a crashed online build: drop it (and
+	// its file), then sweep data files the catalog no longer references
+	// — the DROP TABLE crash window leaves exactly those behind.
+	if err := db.cleanOrphans(); err != nil {
+		db.Close()
+		return nil, err
+	}
 	for _, t := range cat.Tables() {
 		if err := db.openTable(t); err != nil {
 			db.Close()
@@ -134,6 +145,56 @@ func Open(cfg Config) (*DB, error) {
 		}
 	}
 	return db, nil
+}
+
+// cleanOrphans runs once at Open, after WAL recovery and before any
+// table file is opened. It drops catalog index entries still marked
+// Building (a crashed online build) together with their files, then
+// removes every t_/p_/i_ data file in the directory that the catalog
+// does not reference — the residue of a crash between DROP TABLE's
+// catalog save and its file removal.
+func (db *DB) cleanOrphans() error {
+	for _, ix := range db.cat.Indexes() {
+		if !ix.Building {
+			continue
+		}
+		if err := db.cat.DropIndex(ix.Name); err != nil {
+			return err
+		}
+		if err := removeIfExists(db.indexPath(ix.Name)); err != nil {
+			return err
+		}
+	}
+	referenced := map[string]bool{}
+	for _, t := range db.cat.Tables() {
+		referenced[db.tablePath(t.Name)] = true
+		referenced[db.primaryPath(t.Name)] = true
+	}
+	for _, ix := range db.cat.Indexes() {
+		if !ix.Virtual {
+			referenced[db.indexPath(ix.Name)] = true
+		}
+	}
+	entries, err := os.ReadDir(db.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".dat") {
+			continue
+		}
+		if !strings.HasPrefix(name, "t_") && !strings.HasPrefix(name, "p_") && !strings.HasPrefix(name, "i_") {
+			continue
+		}
+		path := filepath.Join(db.dir, name)
+		if !referenced[path] {
+			if err := os.Remove(path); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // newFile opens a page file attached to both the pool and the WAL.
@@ -160,6 +221,16 @@ func (db *DB) indexPath(name string) string {
 
 // openTable opens the storage files behind a catalog table.
 func (db *DB) openTable(meta *catalog.Table) error {
+	// A catalog entry with rows but no heap file is corruption (a
+	// historical DROP TABLE crash window could produce it). Opening
+	// would silently recreate an empty file and report the table as
+	// empty; fail with a diagnosis instead.
+	if meta.Rows > 0 {
+		if _, serr := os.Stat(db.tablePath(meta.Name)); os.IsNotExist(serr) {
+			return fmt.Errorf("engine: catalog lists table %s with %d rows but its data file %s is missing (incomplete DROP TABLE or external deletion); restore the file or remove the catalog entry",
+				meta.Name, meta.Rows, db.tablePath(meta.Name))
+		}
+	}
 	f, err := db.newFile(db.tablePath(meta.Name))
 	if err != nil {
 		return err
@@ -258,6 +329,16 @@ func (db *DB) LockStats() lock.Stats { return db.locks.Stats() }
 
 // PoolStats returns buffer-pool counters.
 func (db *DB) PoolStats() storage.PoolStats { return db.pool.Stats() }
+
+// PoolCapacity returns the buffer pool's current frame budget.
+func (db *DB) PoolCapacity() int { return db.pool.Capacity() }
+
+// ResizePool changes the buffer pool's frame budget at runtime —
+// growing adds frames immediately, shrinking evicts down to the new
+// budget without blocking the workload — and returns the effective new
+// capacity. This is the execution half of the analyzer's buffer-pool
+// recommendation.
+func (db *DB) ResizePool(pages int) int { return db.pool.Resize(pages) }
 
 // Dir returns the database directory.
 func (db *DB) Dir() string { return db.dir }

@@ -1,0 +1,274 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+	"repro/internal/storage"
+)
+
+// onlineBuildChunk is how many live rows one backfill batch visits
+// between releases of the table's S lock. Small enough that a writer
+// never waits long, large enough that lock churn stays negligible.
+const onlineBuildChunk = 512
+
+// sideLogEntry is one index mutation captured while an online build
+// scans the heap: the already tid-suffixed key and its TID payload.
+// Entries are appended under the table's X lock, so log order equals
+// DML order.
+type sideLogEntry struct {
+	del bool
+	key []byte
+	val []byte
+}
+
+// indexSideLog accumulates the index maintenance an in-progress online
+// build owes for DML that ran while it scanned. insertRow/deleteRow
+// append through the tableHandle's atomic pointer; the builder drains
+// between backfill chunks and a final time under the DDL gate. If
+// computing a key fails the error is parked for the builder — the DML
+// statement itself never fails because of a background build.
+type indexSideLog struct {
+	cols []string
+
+	mu      sync.Mutex
+	entries []sideLogEntry
+	err     error
+}
+
+func (sl *indexSideLog) add(del bool, key, val []byte) {
+	sl.mu.Lock()
+	sl.entries = append(sl.entries, sideLogEntry{del: del, key: key, val: val})
+	sl.mu.Unlock()
+}
+
+func (sl *indexSideLog) fail(err error) {
+	sl.mu.Lock()
+	if sl.err == nil {
+		sl.err = err
+	}
+	sl.mu.Unlock()
+}
+
+// drain removes and returns the accumulated entries (and any parked
+// error) so the builder can replay them without holding the log lock.
+func (sl *indexSideLog) drain() ([]sideLogEntry, error) {
+	sl.mu.Lock()
+	entries := sl.entries
+	sl.entries = nil
+	err := sl.err
+	sl.mu.Unlock()
+	return entries, err
+}
+
+// replay applies drained entries to the index in log order. Put
+// overwrites and Delete tolerates missing keys, so an entry that races
+// the backfill scan (both observed the same row) is idempotent.
+func replaySideLog(bt *storage.BTree, entries []sideLogEntry) error {
+	for _, e := range entries {
+		if e.del {
+			if _, err := bt.Delete(e.key); err != nil {
+				return err
+			}
+		} else if err := bt.Put(e.key, e.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// logToSideLog is the insertRow/deleteRow hook: if an online build is
+// in progress on this table, record the index mutation it cannot see.
+// The caller holds the table's X lock.
+func logToSideLog(h *tableHandle, del bool, tid storage.TID, row sqltypes.Row) {
+	sl := h.sideLog.Load()
+	if sl == nil {
+		return
+	}
+	key, err := keyFor(h.meta.Schema, row, sl.cols)
+	if err != nil {
+		sl.fail(err)
+		return
+	}
+	sl.add(del, tidSuffix(key, tid), tidBytes(tid))
+}
+
+// execCreateIndexOnline builds a secondary index without stalling the
+// workload: the catalog entry is registered with Building set (name
+// reserved, index invisible to the optimizer and to DML maintenance),
+// a side-log is installed under a brief X lock, the heap is backfilled
+// in chunks under a shared lock (writers run between chunks and their
+// index mutations land in the side-log), and the final catch-up +
+// publish happens under the WAL's exclusive gate. Uniqueness is
+// verified in one pass over the finished index — checking per-row
+// during the build would raise false duplicates for rows whose delete
+// is still queued in the side-log. The index file is fsynced before
+// the catalog clears Building, so a crash at any point leaves either a
+// Building entry (dropped, with its file, at the next open) or a fully
+// durable published index.
+func (db *DB) execCreateIndexOnline(st *sqlparser.CreateIndexStmt) (_ *Result, err error) {
+	h := db.handle(st.Table)
+	if h == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
+	}
+	if h.sideLog.Load() != nil {
+		return nil, fmt.Errorf("engine: another online index build is running on %s", st.Table)
+	}
+	ix := &catalog.Index{
+		Name:     st.Name,
+		Table:    st.Table,
+		Columns:  st.Columns,
+		Unique:   st.Unique,
+		Building: true,
+	}
+	if err := db.cat.AddIndex(ix); err != nil {
+		return nil, err
+	}
+
+	var (
+		xf        *storage.File
+		published bool
+	)
+	defer func() {
+		if published {
+			return
+		}
+		// Unified rollback, mirroring the offline path: stop side
+		// logging, remove the half-built file and drop the reserved
+		// catalog entry.
+		h.sideLog.Store(nil)
+		if xf != nil {
+			if rerr := xf.Remove(); rerr != nil {
+				err = errors.Join(err, rerr)
+			}
+		}
+		if derr := db.cat.DropIndex(st.Name); derr != nil {
+			err = errors.Join(err, derr)
+		}
+		db.plans.invalidate()
+	}()
+
+	if xf, err = db.newFile(db.indexPath(st.Name)); err != nil {
+		return nil, err
+	}
+	bt, err := storage.CreateBTree(xf)
+	if err != nil {
+		return nil, err
+	}
+
+	// Install the side-log under a brief X lock: no DML statement is
+	// mid-flight at that instant, so every mutation after this point is
+	// captured and everything before it is in the heap where the scan
+	// will find it.
+	lockID := db.nextSession.Add(1)
+	tkey := strings.ToLower(st.Table)
+	if err = db.locks.Acquire(lockID, tkey, lockX); err != nil {
+		return nil, err
+	}
+	sl := &indexSideLog{cols: st.Columns}
+	h.sideLog.Store(sl)
+	db.locks.ReleaseAll(lockID)
+
+	// Backfill in chunks under a shared lock. A (page, slot) scan
+	// position is stable across the unlock windows: deletes never
+	// compact slots and inserts only append.
+	var (
+		page uint32
+		slot int
+		done bool
+	)
+	for !done {
+		if err = db.locks.Acquire(lockID, tkey, lockS); err != nil {
+			return nil, err
+		}
+		page, slot, done, err = h.heap.ScanChunk(page, slot, onlineBuildChunk, func(tid storage.TID, rec []byte) error {
+			row, derr := sqltypes.DecodeRow(rec)
+			if derr != nil {
+				return derr
+			}
+			key, kerr := keyFor(h.meta.Schema, row, st.Columns)
+			if kerr != nil {
+				return kerr
+			}
+			return bt.Put(tidSuffix(key, tid), tidBytes(tid))
+		})
+		db.locks.ReleaseAll(lockID)
+		if err != nil {
+			return nil, err
+		}
+		// Drain between chunks so the final catch-up under the gate
+		// replays only the tail of concurrent DML.
+		entries, serr := sl.drain()
+		if serr == nil {
+			serr = replaySideLog(bt, entries)
+		}
+		if serr != nil {
+			return nil, serr
+		}
+	}
+
+	// Final catch-up and publish under the DDL gate: every in-flight
+	// write transaction is waited out and no new one can start, so the
+	// drained tail is complete and the publish is atomic.
+	release := db.wal.BeginExclusive()
+	defer release()
+	entries, serr := sl.drain()
+	if serr == nil {
+		serr = replaySideLog(bt, entries)
+	}
+	h.sideLog.Store(nil)
+	if serr != nil {
+		return nil, serr
+	}
+	if st.Unique {
+		if err = verifyUnique(bt, st.Name); err != nil {
+			return nil, err
+		}
+	}
+	// Durability order: index file first, then the catalog flips
+	// Building off. A crash in between leaves a Building entry, which
+	// the next open drops along with the file.
+	if err = bt.File().Sync(); err != nil {
+		return nil, err
+	}
+	if err = db.cat.FinishIndexBuild(st.Name); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	h.indexes[strings.ToLower(st.Name)] = bt
+	db.mu.Unlock()
+	db.plans.invalidate()
+	published = true
+	if err = db.Checkpoint(); err != nil {
+		// The index itself is durable (file synced, catalog saved);
+		// surface the checkpoint failure without rolling it back.
+		return nil, err
+	}
+	return &Result{RowsAffected: h.heap.Rows()}, nil
+}
+
+// verifyUnique walks the finished index once and reports the first
+// pair of adjacent entries whose keys differ only in the TID suffix —
+// a duplicate under the unique constraint. The suffix is EncodeKey of
+// an Int, which is a fixed tidSuffixLen bytes.
+func verifyUnique(bt *storage.BTree, name string) error {
+	it := bt.Seek(nil)
+	var prev []byte
+	for it.Next() {
+		k := it.Key()
+		if len(k) < tidSuffixLen {
+			return fmt.Errorf("engine: corrupt key in index %s", name)
+		}
+		stripped := k[:len(k)-tidSuffixLen]
+		if prev != nil && string(prev) == string(stripped) {
+			return fmt.Errorf("engine: duplicate key while building unique index %s", name)
+		}
+		prev = append(prev[:0], stripped...)
+	}
+	return it.Err()
+}

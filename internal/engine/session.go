@@ -169,12 +169,22 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	tables := sqlparser.ReferencedTables(stmt)
 	h.Parsed(stmt.Kind(), tables)
 
-	var isDML, isDDL bool
-	switch stmt.(type) {
+	var isDML, isDDL, isOnlineDDL bool
+	switch st := stmt.(type) {
 	case *sqlparser.InsertStmt, *sqlparser.UpdateStmt, *sqlparser.DeleteStmt:
 		isDML = true
+	case *sqlparser.CreateIndexStmt:
+		// CREATE INDEX ... ONLINE must not run behind the upfront
+		// exclusive gate or the table X lock — the whole point is that
+		// DML proceeds during the build. The builder takes its own
+		// locks per chunk and the gate only for the final catch-up.
+		if st.Online {
+			isOnlineDDL = true
+		} else {
+			isDDL = true
+		}
 	case *sqlparser.CreateTableStmt, *sqlparser.DropTableStmt,
-		*sqlparser.CreateIndexStmt, *sqlparser.DropIndexStmt, *sqlparser.ModifyStmt:
+		*sqlparser.DropIndexStmt, *sqlparser.ModifyStmt:
 		isDDL = true
 	}
 
@@ -197,6 +207,18 @@ func (s *Session) Exec(sql string) (*Result, error) {
 				ddlRelease()
 			}
 		}()
+	} else if isOnlineDDL {
+		// Like DDL, an online build implicitly commits the session's
+		// open transaction and runs outside any WAL transaction — but
+		// it does NOT take the gate here: holding the session's own
+		// WalTxn while the builder later waits for the gate would
+		// deadlock, and holding the gate would stall every writer.
+		if err := s.finishWalTxn(true); err != nil {
+			h.Finish(0, 0, 0, err)
+			return nil, err
+		}
+		s.inTxn = false
+		db.locks.ReleaseAll(s.id)
 	} else if isDML || s.inTxn {
 		// The WAL transaction (and with it the DDL gate's read side) is
 		// opened before the first table lock — same global order.
@@ -213,6 +235,9 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	}
 	var locked []string
 	for _, t := range tables {
+		if isOnlineDDL {
+			break // the online builder takes its own short-lived locks
+		}
 		key := strings.ToLower(t)
 		if db.virtualTable(key) != nil {
 			continue
@@ -247,7 +272,11 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	case *sqlparser.DropTableStmt:
 		res, err = db.execDropTable(st)
 	case *sqlparser.CreateIndexStmt:
-		res, err = db.execCreateIndex(st)
+		if st.Online {
+			res, err = db.execCreateIndexOnline(st)
+		} else {
+			res, err = db.execCreateIndex(st)
+		}
 	case *sqlparser.DropIndexStmt:
 		res, err = db.execDropIndex(st)
 	case *sqlparser.ModifyStmt:

@@ -67,6 +67,10 @@ func tidSuffix(key []byte, tid storage.TID) []byte {
 	return sqltypes.EncodeKey(key, sqltypes.NewInt(int64(tid)))
 }
 
+// tidSuffixLen is the encoded size of the TID suffix tidSuffix appends:
+// EncodeKey of an Int is always tag+float64+tag+int64 = 18 bytes.
+const tidSuffixLen = 18
+
 func tidBytes(tid storage.TID) []byte {
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], uint64(tid))
@@ -168,6 +172,7 @@ func (db *DB) insertRow(h *tableHandle, row sqltypes.Row) (storage.TID, error) {
 			return 0, err
 		}
 	}
+	logToSideLog(h, false, tid, row)
 	return tid, nil
 }
 
@@ -210,6 +215,7 @@ func (db *DB) deleteRow(h *tableHandle, tid storage.TID, row sqltypes.Row) error
 			return err
 		}
 	}
+	logToSideLog(h, true, tid, row)
 	return nil
 }
 

@@ -164,6 +164,10 @@ type CreateIndexStmt struct {
 	Columns []string
 	Unique  bool
 	Virtual bool
+	// Online requests a concurrent build: the heap is backfilled in
+	// batches while DML proceeds, with a side-log replayed before the
+	// final catch-up under the DDL gate.
+	Online bool
 }
 
 // DropIndexStmt drops a secondary index.

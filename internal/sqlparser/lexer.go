@@ -46,7 +46,7 @@ var keywordList = []string{
 	"FLOAT", "REAL", "DOUBLE",
 	"VARCHAR", "CHAR", "TEXT",
 	"COUNT", "SUM", "AVG", "MIN", "MAX",
-	"IF", "EXISTS",
+	"IF", "EXISTS", "ONLINE",
 }
 
 // keywords maps the upper-cased spelling to an interned canonical

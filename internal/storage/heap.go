@@ -281,6 +281,48 @@ func (h *Heap) Scan(fn func(tid TID, rec []byte) (bool, error)) error {
 	return nil
 }
 
+// ScanChunk resumes a physical-order scan at (page, slot), calls fn
+// for up to maxRows live records, and returns the position at which
+// the next chunk should resume. done is true once the scan passed the
+// last page that existed when this chunk ran. A (page, slot) position
+// is stable across interleaved DML: deletes mark slots dead but never
+// compact them, and inserts only land at or past the current last
+// page — so an online index build can release the table lock between
+// chunks without missing or double-visiting a record that existed at
+// build start.
+func (h *Heap) ScanChunk(page uint32, slot int, maxRows int, fn func(tid TID, rec []byte) error) (nextPage uint32, nextSlot int, done bool, err error) {
+	pages := h.file.Pages()
+	visited := 0
+	for pg := page; pg < pages; pg++ {
+		p, err := h.file.GetPage(pg)
+		if err != nil {
+			return pg, slot, false, err
+		}
+		n := pageSlotCount(p.Data)
+		s := 0
+		if pg == page {
+			s = slot
+		}
+		for ; s < n; s++ {
+			if visited >= maxRows {
+				p.Release()
+				return pg, s, false, nil
+			}
+			off, length := slotEntry(p.Data, s)
+			if off == deadSlot {
+				continue
+			}
+			if err := fn(NewTID(pg, uint16(s)), p.Data[off:off+length]); err != nil {
+				p.Release()
+				return pg, s, false, err
+			}
+			visited++
+		}
+		p.Release()
+	}
+	return pages, 0, true, nil
+}
+
 // Truncate drops every record, resetting the heap to a single empty
 // main page extent.
 func (h *Heap) Truncate() error {

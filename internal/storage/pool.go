@@ -97,8 +97,9 @@ type poolShard struct {
 	frames  map[pageKey]*frame       // published (fully loaded) frames
 	loading map[pageKey]*pendingLoad // reads in flight
 	writing map[pageKey]*pendingWrite
-	clock   []*frame // fixed slots; nil = free
-	free    []int    // indices of free clock slots
+	clock   []*frame // slots; nil = free. Grows on Resize, never shrinks.
+	free    []int    // indices of free clock slots, all < limit
+	limit   int      // slots [0, limit) are usable; the rest are retired
 	hand    int      // clock hand
 
 	hits      atomic.Int64
@@ -135,7 +136,7 @@ const (
 // shard runs an independent clock-sweep (second chance) eviction, so
 // there is no global lock and no O(resident) scan on eviction.
 type Pool struct {
-	capacity  int
+	capacity  atomic.Int64 // current frame budget; Resize changes it at runtime
 	shardMask uint32
 	shards    []*poolShard
 
@@ -144,6 +145,8 @@ type Pool struct {
 	// reporting exhaustion, counting each wait in PinWaits.
 	pinWaitStep time.Duration
 	pinWaitMax  time.Duration
+
+	resizeMu sync.Mutex // serializes Resize calls
 
 	fsyncs atomic.Int64 // data-file fsyncs (incremented by File.Sync)
 }
@@ -159,12 +162,12 @@ func NewPool(capacity int) *Pool {
 		nshards *= 2
 	}
 	p := &Pool{
-		capacity:    capacity,
 		shardMask:   uint32(nshards - 1),
 		shards:      make([]*poolShard, nshards),
 		pinWaitStep: defaultPinWaitStep,
 		pinWaitMax:  defaultPinWaitMax,
 	}
+	p.capacity.Store(int64(capacity))
 	base, rem := capacity/nshards, capacity%nshards
 	for i := range p.shards {
 		c := base
@@ -177,6 +180,7 @@ func NewPool(capacity int) *Pool {
 			writing: map[pageKey]*pendingWrite{},
 			clock:   make([]*frame, c),
 			free:    make([]int, c),
+			limit:   c,
 		}
 		for s := 0; s < c; s++ {
 			sh.free[s] = c - 1 - s // pop from the tail: slot 0 first
@@ -184,6 +188,113 @@ func NewPool(capacity int) *Pool {
 		p.shards[i] = sh
 	}
 	return p
+}
+
+// freeSlotLocked returns a clock slot to the shard's free list unless a
+// shrink retired it while it was in use — retired slots simply vanish,
+// which is how a live Resize converges without waiting on pinned frames
+// or in-flight write-backs. sh.mu must be held.
+func (sh *poolShard) freeSlotLocked(slot int) {
+	if slot < sh.limit {
+		sh.free = append(sh.free, slot)
+	}
+}
+
+// Resize changes the pool's frame budget at runtime and returns the
+// effective new capacity. The shard count is fixed at construction;
+// each shard's slot limit is raised (new slots appended and freed) or
+// lowered (free list filtered, resident frames in retired slots
+// evicted — dirty ones written back behind the usual write latch).
+// Frames that are pinned or mid-write when a shrink runs stay resident
+// and drain later: every slot-free path discards retired slots, so the
+// pool converges to the new budget without stalling the workload. The
+// requested size is floored at 8 frames per shard so a shrink can never
+// starve a shard below what a batch scan pins.
+func (p *Pool) Resize(n int) int {
+	p.resizeMu.Lock()
+	defer p.resizeMu.Unlock()
+	nshards := len(p.shards)
+	if min := 8 * nshards; n < min {
+		n = min
+	}
+	base, rem := n/nshards, n%nshards
+	total := 0
+	for i, sh := range p.shards {
+		c := base
+		if i < rem {
+			c++
+		}
+		total += c
+		p.resizeShard(sh, c)
+	}
+	p.capacity.Store(int64(total))
+	return total
+}
+
+// resizeShard applies a new slot limit to one shard. Growing is cheap:
+// extend the clock slice and free the new slots. Shrinking filters the
+// free list and actively evicts frames sitting in retired slots; a
+// dirty victim is written back outside the shard lock exactly like an
+// eviction in get, including the failure path that re-publishes the
+// frame so data is never lost to a resize.
+func (p *Pool) resizeShard(sh *poolShard, c int) {
+	sh.mu.Lock()
+	old := sh.limit
+	sh.limit = c
+	if c >= old {
+		for len(sh.clock) < c {
+			sh.clock = append(sh.clock, nil)
+		}
+		for s := old; s < c; s++ {
+			sh.free = append(sh.free, s)
+		}
+		sh.mu.Unlock()
+		return
+	}
+	keep := sh.free[:0]
+	for _, s := range sh.free {
+		if s < c {
+			keep = append(keep, s)
+		}
+	}
+	sh.free = keep
+	for slot := c; slot < len(sh.clock); slot++ {
+		fr := sh.clock[slot]
+		if fr == nil || fr.pins.Load() != 0 {
+			continue // pinned frames drain via freeSlotLocked later
+		}
+		if _, busy := sh.writing[fr.key]; busy {
+			continue // flush in flight relies on the frame staying put
+		}
+		sh.evictFrameLocked(fr, slot)
+		if fr.dirty.Load() == 0 {
+			sh.evictions.Add(1)
+			continue
+		}
+		wb := &pendingWrite{done: make(chan struct{})}
+		sh.writing[fr.key] = wb
+		sh.mu.Unlock()
+		werr := fr.file.walBarrier(fr.data[:])
+		if werr == nil {
+			werr = fr.file.writePage(fr.key.page, fr.data[:])
+		}
+		sh.mu.Lock()
+		delete(sh.writing, fr.key)
+		if werr != nil {
+			// Same rule as get: the frame holds the only up-to-date
+			// copy, so re-publish it (still dirty, before wb.done
+			// closes) and leave it for a later flush or eviction.
+			sh.frames[fr.key] = fr
+			sh.clock[slot] = fr
+			sh.resident.Add(1)
+		} else {
+			sh.diskWrite.Add(1)
+			sh.evictions.Add(1)
+		}
+		wb.err = werr
+		close(wb.done)
+	}
+	sh.mu.Unlock()
 }
 
 // SetPinWaitBudget bounds how long get waits for a pinned-full shard
@@ -208,8 +319,8 @@ func (p *Pool) Stats() PoolStats {
 	return st
 }
 
-// Capacity returns the configured frame capacity.
-func (p *Pool) Capacity() int { return p.capacity }
+// Capacity returns the current frame capacity.
+func (p *Pool) Capacity() int { return int(p.capacity.Load()) }
 
 // Shards returns the number of shards (observability and tests).
 func (p *Pool) Shards() int { return len(p.shards) }
@@ -274,7 +385,7 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 				sh.mu.Unlock()
 				sh.pinWaits.Add(1)
 				if waited >= p.pinWaitMax {
-					return nil, fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned; waited %v)", p.capacity, waited)
+					return nil, fmt.Errorf("storage: buffer pool exhausted (%d pages, all pinned; waited %v)", p.Capacity(), waited)
 				}
 				time.Sleep(p.pinWaitStep)
 				waited += p.pinWaitStep
@@ -316,12 +427,18 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 				}
 				sh.diskWrite.Add(1)
 				sh.evictions.Add(1)
-				sh.free = append(sh.free, slot)
+				sh.freeSlotLocked(slot)
 				sh.mu.Unlock()
 				close(wb.done)
 				continue // re-run from the top: our key may have appeared
 			}
 			sh.evictions.Add(1)
+			if slot >= sh.limit {
+				// A shrink retired this slot while its frame lingered;
+				// the eviction freed the frame but the slot is gone.
+				sh.mu.Unlock()
+				continue
+			}
 		}
 
 		// Load the page outside the lock, behind the load latch.
@@ -341,16 +458,17 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 		sh.mu.Lock()
 		delete(sh.loading, key)
 		if err != nil {
-			sh.free = append(sh.free, slot)
+			sh.freeSlotLocked(slot)
 			sh.mu.Unlock()
 			ld.err = err
 			close(ld.ready)
 			return nil, err
 		}
-		if ld.dropped {
-			// dropFile ran mid-load: hand the frame to the caller but do
-			// not cache it.
-			sh.free = append(sh.free, slot)
+		if ld.dropped || slot >= sh.limit {
+			// dropFile ran mid-load (hand the frame to the caller but do
+			// not cache it), or a shrink retired the slot while the read
+			// was in flight.
+			sh.freeSlotLocked(slot)
 		} else {
 			sh.frames[key] = fr
 			sh.clock[slot] = fr
@@ -571,7 +689,7 @@ func (p *Pool) dropFile(f *File) {
 			if fr != nil && fr.key.file == f.id {
 				delete(sh.frames, fr.key)
 				sh.clock[slot] = nil
-				sh.free = append(sh.free, slot)
+				sh.freeSlotLocked(slot)
 				sh.resident.Add(-1)
 			}
 		}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"strconv"
 
+	"repro/internal/analyzer"
 	"repro/internal/daemon"
 	"repro/internal/engine"
 	"repro/internal/monitor"
@@ -90,6 +91,23 @@ func EngineSource(db *engine.DB) Source {
 		ms = append(ms, HistogramMetrics("engine_wal_fsync_ns",
 			"WAL fsync latency in nanoseconds.", &lc, float64(fsyncSumNanos))...)
 		return ms
+	}
+}
+
+// TuningSource exposes the autonomous-tuning loop: the apply state
+// machine's outcome counters, the analyzer's apply failures, and the
+// live buffer-pool capacity (which pool-resize actions change at
+// runtime).
+func TuningSource(a *analyzer.Analyzer, ap *analyzer.Applier, db *engine.DB) Source {
+	return func() []Metric {
+		accepted, rolledBack, failed := ap.Stats()
+		return []Metric{
+			{Name: "engine_tuning_actions_accepted_total", Help: "Tuning actions accepted after their canary window.", Kind: Counter, Value: float64(accepted)},
+			{Name: "engine_tuning_actions_rolled_back_total", Help: "Tuning actions rolled back for regressing the tail latency.", Kind: Counter, Value: float64(rolledBack)},
+			{Name: "engine_tuning_actions_failed_total", Help: "Tuning actions whose execution or rollback failed.", Kind: Counter, Value: float64(failed)},
+			{Name: "engine_tuning_apply_failures_total", Help: "Recommendations the analyzer could not execute.", Kind: Counter, Value: float64(a.ApplyFailures())},
+			{Name: "engine_tuning_pool_capacity_pages", Help: "Current buffer pool capacity in pages (live-resizable).", Kind: Gauge, Value: float64(db.PoolCapacity())},
+		}
 	}
 }
 

@@ -25,6 +25,7 @@ const (
 	Indexes    = "ws_indexes"
 	Statistics = "ws_statistics"
 	Latency    = "ws_latency"
+	Actions    = "ws_actions"
 )
 
 // StatementTextMax bounds persisted statement text in bytes. It
@@ -66,7 +67,8 @@ var schemaDDL = []string{
 		cache_misses BIGINT, disk_reads BIGINT, disk_writes BIGINT, db_bytes BIGINT,
 		poll_errors BIGINT, retries BIGINT, carryover_depth BIGINT, alert_errors BIGINT,
 		cache_evictions BIGINT, cache_resident BIGINT, pin_waits BIGINT,
-		wal_bytes BIGINT, wal_fsyncs BIGINT, redo_records BIGINT, redo_nanos BIGINT)`,
+		wal_bytes BIGINT, wal_fsyncs BIGINT, redo_records BIGINT, redo_nanos BIGINT,
+		apply_failures BIGINT)`,
 	// One row per non-empty histogram bucket per poll. Counts are
 	// cumulative since monitor start (counter semantics, like
 	// Prometheus); the analyzer differences successive snapshots to get
@@ -74,10 +76,19 @@ var schemaDDL = []string{
 	`CREATE TABLE IF NOT EXISTS ` + Latency + ` (
 		ts_us BIGINT, scope VARCHAR(8), bucket BIGINT, lo_ns BIGINT, hi_ns BIGINT,
 		bucket_count BIGINT)`,
+	// The persisted audit trail of the analyzer's apply state machine:
+	// one row per action state transition, mirroring ima_actions. seq is
+	// monotone within one applier lifetime; the daemon uses it as an
+	// append watermark.
+	`CREATE TABLE IF NOT EXISTS ` + Actions + ` (
+		ts_us BIGINT, seq BIGINT, action_id BIGINT, kind VARCHAR(32),
+		target VARCHAR(64), sql_text VARCHAR(512), state VARCHAR(16),
+		baseline_us BIGINT, observed_us BIGINT, delta_pct FLOAT,
+		samples BIGINT, at_us BIGINT, detail VARCHAR(512))`,
 }
 
 // AllTables lists every workload table, for pruning and reporting.
-var AllTables = []string{Statements, Workload, References, Tables, Attributes, Indexes, Statistics, Latency}
+var AllTables = []string{Statements, Workload, References, Tables, Attributes, Indexes, Statistics, Latency, Actions}
 
 // EnsureSchema creates the workload tables if they do not exist.
 func EnsureSchema(db *engine.DB) error {
