@@ -42,6 +42,12 @@ const (
 	// (engine.ResizePool); plain Apply still skips it because there is
 	// no SQL statement to run.
 	KindBufferPool Kind = "enlarge-buffer-pool"
+	// KindLockWait and KindGroupCommit come from the wait-state rule
+	// over the phase-2 attribution data (ws_waits). Both are advisory:
+	// shortening transactions and retuning the group-commit window are
+	// application/configuration changes, not DDL.
+	KindLockWait    Kind = "reduce-lock-waits"
+	KindGroupCommit Kind = "tune-group-commit"
 )
 
 // Recommendation is one proposed change with the DDL that implements
@@ -110,6 +116,14 @@ type Config struct {
 	// before its hit ratio is judged (default 100; quieter intervals are
 	// noise).
 	MinCacheRequests int64
+	// WaitDominance is the fraction of a flagged statement's wall-clock
+	// a single wait class must account for before the wait-state rule
+	// fires on it (default 0.4).
+	WaitDominance float64
+	// MinWaitSamples is the minimum differenced execution count a
+	// flagged statement needs in ws_waits before its breakdown is
+	// judged (default 8).
+	MinWaitSamples int64
 }
 
 // Analyzer scans collected data and recommends design changes.
@@ -147,6 +161,12 @@ func New(cfg Config) (*Analyzer, error) {
 	if cfg.MinCacheRequests <= 0 {
 		cfg.MinCacheRequests = 100
 	}
+	if cfg.WaitDominance <= 0 || cfg.WaitDominance >= 1 {
+		cfg.WaitDominance = 0.4
+	}
+	if cfg.MinWaitSamples <= 0 {
+		cfg.MinWaitSamples = 8
+	}
 	return &Analyzer{cfg: cfg}, nil
 }
 
@@ -173,6 +193,9 @@ func (a *Analyzer) Analyze() (*Report, error) {
 		return nil, err
 	}
 	if err := a.ruleBufferPool(rep); err != nil {
+		return nil, err
+	}
+	if err := a.ruleWaitStates(rep); err != nil {
 		return nil, err
 	}
 	if err := a.adviseIndexes(rep); err != nil {

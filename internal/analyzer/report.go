@@ -18,12 +18,14 @@ func (r *Report) String() string {
 	if len(r.Recommendations) == 0 {
 		b.WriteString("\nno recommendations — the physical design fits the observed workload\n")
 	} else {
-		order := []Kind{KindModify, KindIndex, KindStatistics, KindBufferPool}
+		order := []Kind{KindModify, KindIndex, KindStatistics, KindBufferPool, KindLockWait, KindGroupCommit}
 		titles := map[Kind]string{
-			KindModify:     "storage structure changes",
-			KindIndex:      "secondary indexes",
-			KindStatistics: "statistics collection",
-			KindBufferPool: "configuration changes (manual)",
+			KindModify:      "storage structure changes",
+			KindIndex:       "secondary indexes",
+			KindStatistics:  "statistics collection",
+			KindBufferPool:  "configuration changes (manual)",
+			KindLockWait:    "lock-contention advisories (wait-state analysis)",
+			KindGroupCommit: "group-commit advisories (wait-state analysis)",
 		}
 		for _, k := range order {
 			var recs []Recommendation

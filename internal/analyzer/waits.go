@@ -1,0 +1,171 @@
+package analyzer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workloaddb"
+)
+
+// Wait-state analysis: the rules over the phase-2 attribution data in
+// ws_waits. Where the cost-based rules ask "is this statement more
+// expensive than the optimizer thought?", these ask "where does the
+// wall-clock of a flagged statement actually go?" and route the answer
+// to the subsystem that can absorb it — the tuning direction the
+// integrated monitor's wait breakdown exists to enable.
+
+// waitDelta is one statement's per-interval wait breakdown, obtained by
+// differencing the earliest and latest ws_waits snapshots of its hash
+// (counter semantics, like ws_latency).
+type waitDelta struct {
+	hash    int64
+	text    string
+	samples int64
+	wall    int64
+	exec    int64
+	lock    int64
+	io      int64
+	fsync   int64
+	pin     int64
+}
+
+// ruleWaitStates classifies each flagged statement's differenced wait
+// breakdown and recommends by dominant wait class:
+//
+//   - lock-dominant → per-statement advisory: shorten the transaction or
+//     narrow its lock footprint with an index;
+//   - I/O-dominant (page loads + pin waits) → a buffer-pool enlargement,
+//     reusing KindBufferPool so ApplyOnline can live-resize under the
+//     usual canary;
+//   - fsync-dominant → advisory to widen the WAL group-commit window
+//     (storage.WALOptions.GroupCommitInterval / SetGroupCommitInterval).
+//
+// Statements below MinWaitSamples differenced executions are skipped as
+// noise. A missing ws_waits table (workload DBs collected before the
+// two-phase monitor existed) skips the rule rather than failing the
+// analysis.
+func (a *Analyzer) ruleWaitStates(rep *Report) error {
+	deltas, err := a.loadWaitDeltas()
+	if err != nil || len(deltas) == 0 {
+		return nil
+	}
+
+	var (
+		ioWait, ioWall, fsyncWait, fsyncWall int64
+		ioStmts, fsyncStmts                  int
+	)
+	for _, d := range deltas {
+		if d.samples < a.cfg.MinWaitSamples || d.wall <= 0 {
+			continue
+		}
+		wall := float64(d.wall)
+		lockFrac := float64(d.lock) / wall
+		ioFrac := float64(d.io+d.pin) / wall
+		fsyncFrac := float64(d.fsync) / wall
+
+		if lockFrac >= a.cfg.WaitDominance {
+			tbl := ""
+			if ts := a.tablesOf(d.text); len(ts) > 0 {
+				tbl = ts[0]
+			}
+			rep.Recommendations = append(rep.Recommendations, Recommendation{
+				Kind:  KindLockWait,
+				Table: tbl,
+				SQL:   fmt.Sprintf("-- lock-bound statement %d: shorten its transaction or add an index to narrow its lock footprint", d.hash),
+				Reason: fmt.Sprintf("%.0f%% of its wall-clock over %d execution(s) was spent parked on lock queues: %.40q",
+					lockFrac*100, d.samples, oneLine(d.text)),
+				Score: float64(d.lock),
+			})
+		}
+		if ioFrac >= a.cfg.WaitDominance {
+			ioStmts++
+			ioWait += d.io + d.pin
+			ioWall += d.wall
+		}
+		if fsyncFrac >= a.cfg.WaitDominance {
+			fsyncStmts++
+			fsyncWait += d.fsync
+			fsyncWall += d.wall
+		}
+	}
+
+	// The I/O and fsync classes aggregate across statements: they point
+	// at shared resources (the pool, the log), so one recommendation
+	// covers every statement stalling on them.
+	if ioStmts > 0 && !hasKind(rep, KindBufferPool) {
+		rep.Recommendations = append(rep.Recommendations, Recommendation{
+			Kind: KindBufferPool,
+			SQL:  "-- enlarge the buffer pool (live: Applier resizes; offline: engine.Config.PoolPages)",
+			Reason: fmt.Sprintf("%d flagged statement(s) spent %.0f%% of their wall-clock waiting on page loads or pinned-pool backpressure",
+				ioStmts, float64(ioWait)/float64(ioWall)*100),
+			Score: float64(ioWait),
+		})
+	}
+	if fsyncStmts > 0 {
+		rep.Recommendations = append(rep.Recommendations, Recommendation{
+			Kind: KindGroupCommit,
+			SQL:  "-- widen the WAL group-commit window (storage.WALOptions.GroupCommitInterval)",
+			Reason: fmt.Sprintf("%d flagged statement(s) spent %.0f%% of their wall-clock in commit fsync waits; a wider batching window amortizes them across more transactions",
+				fsyncStmts, float64(fsyncWait)/float64(fsyncWall)*100),
+			Score: float64(fsyncWait),
+		})
+	}
+	return nil
+}
+
+// hasKind reports whether the report already carries a recommendation
+// of the given kind (the hit-ratio rule may have recommended the pool
+// enlargement first; one is enough).
+func hasKind(rep *Report, k Kind) bool {
+	for _, r := range rep.Recommendations {
+		if r.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// loadWaitDeltas differences each hash's earliest and latest ws_waits
+// snapshots. A hash seen in a single poll keeps its cumulative values —
+// for a freshly flagged statement that IS the interval since flagging.
+func (a *Analyzer) loadWaitDeltas() ([]waitDelta, error) {
+	s := a.cfg.WorkloadDB.NewSession()
+	defer s.Close()
+	res, err := s.Exec(`SELECT ts_us, hash, query_text, samples, wall_ns,
+		exec_ns, lock_ns, io_ns, fsync_ns, pinwait_ns
+		FROM ` + workloaddb.Waits + ` ORDER BY ts_us`)
+	if err != nil {
+		return nil, err
+	}
+	first := map[int64]waitDelta{}
+	last := map[int64]waitDelta{}
+	var order []int64
+	for _, r := range res.Rows {
+		d := waitDelta{
+			hash: r[1].I, text: r[2].S, samples: r[3].I, wall: r[4].I,
+			exec: r[5].I, lock: r[6].I, io: r[7].I, fsync: r[8].I, pin: r[9].I,
+		}
+		if _, ok := first[d.hash]; !ok {
+			first[d.hash] = d
+			order = append(order, d.hash)
+		}
+		last[d.hash] = d
+	}
+	out := make([]waitDelta, 0, len(order))
+	for _, h := range order {
+		f, l := first[h], last[h]
+		d := l
+		if f.samples < l.samples { // ≥2 snapshots: difference them
+			d.samples = l.samples - f.samples
+			d.wall = l.wall - f.wall
+			d.exec = l.exec - f.exec
+			d.lock = l.lock - f.lock
+			d.io = l.io - f.io
+			d.fsync = l.fsync - f.fsync
+			d.pin = l.pin - f.pin
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].wall > out[j].wall })
+	return out, nil
+}

@@ -150,6 +150,11 @@ type Config struct {
 	// ws_statistics (the analyzer's count of recommendations whose
 	// execution failed).
 	ApplyFailures func() int64
+	// Flagger, when set, runs one adaptive-monitoring evaluation per
+	// poll: statements whose interval tail latency misbehaves are
+	// flagged into phase-2 wait attribution, and stale flags expire.
+	// The resulting breakdowns are persisted into ws_waits.
+	Flagger *monitor.Flagger
 	// Logf receives diagnostics: transient poll failures, retry
 	// scheduling, alert errors. nil discards them.
 	Logf func(format string, args ...any)
@@ -419,6 +424,17 @@ func (d *Daemon) Poll() error {
 		errs = append(errs, err)
 	}
 	if err := d.appendActions(target, ts); err != nil {
+		errs = append(errs, err)
+	}
+
+	// 2b. Adaptive monitoring: evaluate the flagging policy, then
+	// persist the phase-2 wait breakdowns of the current flag set.
+	if d.cfg.Flagger != nil {
+		if flagged, expired := d.cfg.Flagger.Evaluate(now); flagged > 0 || expired > 0 {
+			d.logf("daemon: flagger: %d flagged, %d expired", flagged, expired)
+		}
+	}
+	if err := d.appendWaits(target, ts); err != nil {
 		errs = append(errs, err)
 	}
 
@@ -779,6 +795,37 @@ func (d *Daemon) appendLatency(x execTarget, ts int64) error {
 		return nil
 	}
 	_, err := d.insertBatch(x, workloaddb.Latency, rows)
+	return err
+}
+
+// appendWaits persists one ws_waits row per flagged statement per
+// poll: cumulative wait-class counters (like ws_latency, counter
+// semantics — the analyzer differences successive snapshots of the
+// same hash). Statements with no committed samples yet are skipped.
+func (d *Daemon) appendWaits(x execTarget, ts int64) error {
+	flags := d.cfg.Mon.SnapshotFlags()
+	var rows []sqltypes.Row
+	for _, f := range flags {
+		if f.Samples == 0 {
+			continue
+		}
+		rows = append(rows, tsRow(ts, sqltypes.Row{
+			sqltypes.NewInt(int64(f.Hash)),
+			sqltypes.NewText(sqltypes.TruncateUTF8(f.Text, workloaddb.StatementTextMax)),
+			sqltypes.NewText(f.Reason),
+			sqltypes.NewInt(f.Samples),
+			sqltypes.NewInt(f.Waits.WallNs),
+			sqltypes.NewInt(f.Waits.ExecNs),
+			sqltypes.NewInt(f.Waits.LockNs),
+			sqltypes.NewInt(f.Waits.IONs),
+			sqltypes.NewInt(f.Waits.FsyncNs),
+			sqltypes.NewInt(f.Waits.PinWaitNs),
+		}))
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	_, err := d.insertBatch(x, workloaddb.Waits, rows)
 	return err
 }
 

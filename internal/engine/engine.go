@@ -467,6 +467,7 @@ type SystemStats struct {
 	Statements      int64
 	LocksHeld       int64
 	LockWaits       int64
+	LockWaitNanos   int64 // cumulative wallclock sessions spent parked on lock queues
 	Deadlocks       int64
 	CacheHits       int64
 	CacheMisses     int64
@@ -493,6 +494,7 @@ func (db *DB) Stats() SystemStats {
 		Statements:      db.statements.Load(),
 		LocksHeld:       int64(ls.Held),
 		LockWaits:       ls.Waits,
+		LockWaitNanos:   ls.WaitNanos,
 		Deadlocks:       ls.Deadlocks,
 		CacheHits:       ps.Hits,
 		CacheMisses:     ps.Misses,
@@ -510,9 +512,19 @@ func (db *DB) Stats() SystemStats {
 }
 
 // executorStorage adapts the DB to the executor's Storage interface.
-type executorStorage struct{ db *DB }
+// prof, set only for phase-2 flagged statements, threads wait
+// attribution into the iterators the read paths hand out.
+type executorStorage struct {
+	db   *DB
+	prof *storage.WaitProf
+}
 
 var _ executor.Storage = executorStorage{}
+
+// profPool recycles wait profilers across flagged statement
+// executions, keeping the phase-2 path allocation-free at steady
+// state.
+var profPool = sync.Pool{New: func() any { return new(storage.WaitProf) }}
 
 // TableState is the physical state of one table, as the IMA tables
 // report it.

@@ -100,6 +100,49 @@ func TestExplainAnalyzeJoinCountsPerOperator(t *testing.T) {
 	}
 }
 
+// TestExplainAnalyzeSelfTime: every operator line reports self time
+// next to cumulative time, leaves keep self == cumulative, and inner
+// operators never charge their children's time to themselves.
+func TestExplainAnalyzeSelfTime(t *testing.T) {
+	db := testDB(t)
+	s := db.NewSession()
+	defer s.Close()
+	mustExec(t, s, "CREATE TABLE a (id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, s, "CREATE TABLE b (id INTEGER PRIMARY KEY, aid INTEGER)")
+	for i := 0; i < 200; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO a VALUES (%d, %d)", i, i*2))
+		mustExec(t, s, fmt.Sprintf("INSERT INTO b VALUES (%d, %d)", i, i%10))
+	}
+	res := mustExec(t, s, "EXPLAIN ANALYZE SELECT a.v, b.id FROM a, b WHERE a.id = b.aid")
+	text := planText(res)
+	if !strings.Contains(text, "self=") {
+		t.Fatalf("operator lines missing self time:\n%s", text)
+	}
+
+	traces := db.Monitor().SnapshotTraces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	spans := traces[0].Spans
+	var selfSum int64
+	for i, sp := range spans {
+		if sp.SelfNanos < 0 || sp.SelfNanos > sp.Nanos {
+			t.Errorf("span %d (%s): self %d outside [0, %d]", i, sp.Op, sp.SelfNanos, sp.Nanos)
+		}
+		// A leaf (no following span deeper than it) owns all its time.
+		isLeaf := i+1 >= len(spans) || spans[i+1].Depth <= sp.Depth
+		if isLeaf && sp.SelfNanos != sp.Nanos {
+			t.Errorf("leaf span %d (%s): self %d != cumulative %d", i, sp.Op, sp.SelfNanos, sp.Nanos)
+		}
+		selfSum += sp.SelfNanos
+	}
+	// The self times partition the root's inclusive time (clamping can
+	// only lose time, never invent it).
+	if selfSum > spans[0].Nanos {
+		t.Errorf("self times sum to %d > root inclusive %d", selfSum, spans[0].Nanos)
+	}
+}
+
 func TestExplainAnalyzeExecutesAndMonitors(t *testing.T) {
 	db := testDB(t)
 	s := db.NewSession()

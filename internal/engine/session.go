@@ -45,6 +45,10 @@ type Session struct {
 	// the reference semantics; both produce identical results, tuple
 	// counts and trace counts.
 	batchExec bool
+	// prof is the wait profiler of the currently executing statement,
+	// non-nil only while a phase-2 flagged statement runs (Exec sets
+	// and clears it; sessions execute one statement at a time).
+	prof *storage.WaitProf
 }
 
 // SetBatchExec switches the session between the vectorized batch
@@ -115,13 +119,13 @@ func (db *DB) NewSession() *Session {
 // and returns the materialized result rows.
 func (s *Session) runPrepared(prep *executor.Prepared, ctx *executor.Ctx) ([]sqltypes.Row, error) {
 	if s.batchExec {
-		it, err := prep.RunBatch(executorStorage{s.db}, ctx)
+		it, err := prep.RunBatch(executorStorage{db: s.db, prof: s.prof}, ctx)
 		if err != nil {
 			return nil, err
 		}
 		return executor.CollectBatches(it)
 	}
-	it, err := prep.Run(executorStorage{s.db}, ctx)
+	it, err := prep.Run(executorStorage{db: s.db, prof: s.prof}, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -159,6 +163,33 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	db.statements.Add(1)
 
 	h := db.mon.StartStatement(sql)
+
+	// Phase 2: when the flagger (or a manual override) has flagged this
+	// statement, attach a wait profiler for this execution. With zero
+	// flagged statements Profiled is a single atomic load and the whole
+	// block is skipped.
+	var (
+		dispatchStart           time.Time
+		preIO, preFsync, prePin int64
+		execNs                  int64
+	)
+	if h.Profiled() {
+		s.prof = profPool.Get().(*storage.WaitProf)
+		s.prof.Reset()
+		defer func() {
+			// Runs after the deferred lock release and (in autocommit)
+			// the WAL durability wait: every wait source has landed and
+			// Finish has latched the wall time on all paths.
+			io, fsync, pin := s.prof.Totals()
+			h.AddWaits(execNs, io, fsync, pin)
+			h.FlushWaits()
+			if s.wtx != nil {
+				s.wtx.SetProf(nil)
+			}
+			profPool.Put(s.prof)
+			s.prof = nil
+		}()
+	}
 
 	parsed, err := sqlparser.ParseNormalized(sql)
 	if err != nil {
@@ -224,6 +255,13 @@ func (s *Session) Exec(sql string) (*Result, error) {
 		// opened before the first table lock — same global order.
 		s.ensureWalTxn()
 	}
+	if s.prof != nil && s.wtx != nil {
+		// Commit-path waits (after-image page gets, the group-commit
+		// durability wait) attribute to this statement's profiler. The
+		// deferred flush detaches it, so a transaction outliving the
+		// statement never writes into a recycled profiler.
+		s.wtx.SetProf(s.prof)
+	}
 
 	// Lock acquisition, in sorted order to reduce deadlocks. Virtual
 	// tables are lock-free snapshots.
@@ -246,7 +284,15 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	}
 	sort.Strings(locked)
 	for _, t := range locked {
-		if err := db.locks.Acquire(s.id, t, mode); err != nil {
+		var lockStart time.Time
+		if s.prof != nil {
+			lockStart = time.Now()
+		}
+		err := db.locks.Acquire(s.id, t, mode)
+		if s.prof != nil {
+			h.AddLockWait(time.Since(lockStart))
+		}
+		if err != nil {
 			// A deadlock victim aborts its whole transaction. The WAL
 			// finish lands before the lock release so no later
 			// transaction can commit over a still-open one.
@@ -261,6 +307,13 @@ func (s *Session) Exec(sql string) (*Result, error) {
 		defer db.locks.ReleaseAll(s.id)
 	}
 
+	if s.prof != nil {
+		// The dispatch window: executor self-time is its wall minus the
+		// waits the profiler attributes inside it. Commit-path waits
+		// accrue after the window closes and stay pure wait time.
+		preIO, preFsync, prePin = s.prof.Totals()
+		dispatchStart = time.Now()
+	}
 	var res *Result
 	switch st := stmt.(type) {
 	case *sqlparser.SelectStmt:
@@ -291,6 +344,14 @@ func (s *Session) Exec(sql string) (*Result, error) {
 		res, err = db.execDelete(st, parsed.Params, s.wtx, &h)
 	default:
 		err = fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+	if s.prof != nil {
+		dwall := int64(time.Since(dispatchStart))
+		io1, fs1, pin1 := s.prof.Totals()
+		execNs = dwall - ((io1 - preIO) + (fs1 - preFsync) + (pin1 - prePin))
+		if execNs < 0 {
+			execNs = 0
+		}
 	}
 	if !s.inTxn && !isDDL {
 		// Autocommit: finish the statement's WAL transaction — waiting
@@ -427,13 +488,14 @@ func (s *Session) execExplainAnalyze(sql string, st *sqlparser.ExplainStmt, pars
 	}
 
 	metas := prep.SpanMetas()
+	selfNs := executor.SelfTimes(metas, tr.Counts)
 	if db.mon != nil && db.mon.Enabled() {
 		spans := make([]monitor.TraceSpan, len(metas))
 		for i, m := range metas {
 			c := tr.Counts[i]
 			spans[i] = monitor.TraceSpan{
 				Op: m.Kind, Detail: m.Detail, Depth: m.Depth, EstRows: m.EstRows,
-				Rows: c.Rows, Nanos: c.Nanos, Calls: c.Calls,
+				Rows: c.Rows, Nanos: c.Nanos, SelfNanos: selfNs[i], Calls: c.Calls,
 			}
 		}
 		db.mon.RecordTrace(monitor.Trace{
@@ -453,8 +515,9 @@ func (s *Session) execExplainAnalyze(sql string, st *sqlparser.ExplainStmt, pars
 		if m.Detail != "" {
 			line += " " + m.Detail
 		}
-		line += fmt.Sprintf(" (est rows=%.0f) (actual rows=%d time=%s nexts=%d)",
-			m.EstRows, c.Rows, time.Duration(c.Nanos).Round(time.Microsecond), c.Calls)
+		line += fmt.Sprintf(" (est rows=%.0f) (actual rows=%d time=%s self=%s nexts=%d)",
+			m.EstRows, c.Rows, time.Duration(c.Nanos).Round(time.Microsecond),
+			time.Duration(selfNs[i]).Round(time.Microsecond), c.Calls)
 		res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewText(line)})
 	}
 	res.Rows = append(res.Rows, sqltypes.Row{sqltypes.NewText(fmt.Sprintf(

@@ -110,10 +110,12 @@ func (db *DB) attachWalTxn(h *tableHandle, t *storage.WalTxn) func() {
 	}
 	for _, f := range files {
 		f.SetWALTxn(t)
+		f.SetProf(t.Prof())
 	}
 	return func() {
 		for _, f := range files {
 			f.SetWALTxn(nil)
+			f.SetProf(nil)
 		}
 	}
 }
@@ -323,6 +325,7 @@ type btreeFetchIter struct {
 	it   *storage.Iterator
 	hi   []byte
 	heap *storage.Heap
+	prof *storage.WaitProf
 }
 
 func (r *btreeFetchIter) Next() (sqltypes.Row, bool, error) {
@@ -331,7 +334,7 @@ func (r *btreeFetchIter) Next() (sqltypes.Row, bool, error) {
 			return nil, false, nil
 		}
 		tid := tidFromBytes(r.it.Value())
-		rec, ok, err := r.heap.Get(tid)
+		rec, ok, err := r.heap.GetProf(tid, r.prof)
 		if err != nil {
 			return nil, false, err
 		}
@@ -358,7 +361,7 @@ func (s executorStorage) ScanTable(name string) (executor.RowIter, error) {
 	if h == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", name)
 	}
-	return &heapRowIter{it: h.heap.Iter()}, nil
+	return &heapRowIter{it: h.heap.IterProf(s.prof)}, nil
 }
 
 // ScanTableBatch implements executor.BatchStorage: base tables scan
@@ -373,7 +376,7 @@ func (s executorStorage) ScanTableBatch(name string) (executor.RowBatchIter, err
 	if h == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", name)
 	}
-	return &heapBatchRowIter{it: h.heap.ScanBatch()}, nil
+	return &heapBatchRowIter{it: h.heap.ScanBatchProf(s.prof)}, nil
 }
 
 // IndexRange implements executor.Storage.
@@ -393,7 +396,7 @@ func (s executorStorage) IndexRange(table, index string, lo, hi []byte) (executo
 	if bt == nil {
 		return nil, fmt.Errorf("engine: index %s has no storage", index)
 	}
-	return &btreeFetchIter{it: bt.Seek(lo), hi: hi, heap: h.heap}, nil
+	return &btreeFetchIter{it: bt.SeekProf(lo, s.prof), hi: hi, heap: h.heap, prof: s.prof}, nil
 }
 
 // PrimaryRange implements executor.Storage.
@@ -405,7 +408,7 @@ func (s executorStorage) PrimaryRange(table string, lo, hi []byte) (executor.Row
 	if h.primary == nil {
 		return nil, fmt.Errorf("engine: table %s has no primary B-Tree", table)
 	}
-	return &btreeFetchIter{it: h.primary.Seek(lo), hi: hi, heap: h.heap}, nil
+	return &btreeFetchIter{it: h.primary.SeekProf(lo, s.prof), hi: hi, heap: h.heap, prof: s.prof}, nil
 }
 
 // scanAll collects every row of a table with its TID (DML helper).

@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/monitor"
+)
+
+// End-to-end tests of the phase-2 wait-state attribution: a real engine
+// under a contended workload, with statements flagged through the same
+// monitor API the daemon's Flagger uses.
+
+// TestWaitAttributionCoverage is the acceptance criterion: a flagged
+// statement's breakdown must attribute ≥ 90% of its measured wall time
+// across the exec/lock/io/fsync/pinwait buckets in a contended
+// workload.
+func TestWaitAttributionCoverage(t *testing.T) {
+	m := monitor.New(monitor.Config{})
+	// A small pool forces page loads; durable autocommit forces fsync
+	// waits; concurrent updates of one table force lock waits.
+	db, err := Open(Config{Dir: t.TempDir(), PoolPages: 64, Monitor: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.NewSession()
+	mustExec(t, s, "CREATE TABLE accounts (id INTEGER PRIMARY KEY, bal INTEGER)")
+	for base := 0; base < 2000; base += 200 {
+		vals := ""
+		for i := base; i < base+200; i++ {
+			if vals != "" {
+				vals += ", "
+			}
+			vals += fmt.Sprintf("(%d, %d)", i, i)
+		}
+		mustExec(t, s, "INSERT INTO accounts (id, bal) VALUES "+vals)
+	}
+	const q = "UPDATE accounts SET bal = bal + 1 WHERE id < 300"
+	mustExec(t, s, q) // warm the plan cache before flagging
+	s.Close()
+
+	if !m.Flag(q, monitor.FlagReasonManual, true, 0) {
+		t.Fatal("Flag refused")
+	}
+	const sessions, perSession = 4, 20
+	var wg sync.WaitGroup
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := db.NewSession()
+			defer sess.Close()
+			for i := 0; i < perSession; i++ {
+				if _, err := sess.Exec(q); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	fs := m.SnapshotFlags()
+	if len(fs) != 1 {
+		t.Fatalf("flags = %+v", fs)
+	}
+	f := fs[0]
+	if f.Samples != sessions*perSession {
+		t.Fatalf("samples = %d, want %d", f.Samples, sessions*perSession)
+	}
+	if f.Waits.WallNs <= 0 {
+		t.Fatal("no wall time attributed")
+	}
+	coverage := float64(f.Waits.Sum()) / float64(f.Waits.WallNs)
+	t.Logf("breakdown: wall=%v exec=%v lock=%v io=%v fsync=%v pin=%v (coverage %.1f%%)",
+		time.Duration(f.Waits.WallNs), time.Duration(f.Waits.ExecNs),
+		time.Duration(f.Waits.LockNs), time.Duration(f.Waits.IONs),
+		time.Duration(f.Waits.FsyncNs), time.Duration(f.Waits.PinWaitNs), coverage*100)
+	if coverage < 0.90 {
+		t.Fatalf("breakdown attributes only %.1f%% of wall time", coverage*100)
+	}
+	if coverage > 1.0 {
+		t.Fatalf("breakdown exceeds wall: %.3f", coverage)
+	}
+	if f.Waits.LockNs <= 0 {
+		t.Error("contended updates recorded no lock wait")
+	}
+	if f.Waits.FsyncNs <= 0 {
+		t.Error("durable autocommits recorded no fsync wait")
+	}
+
+	// Engine-level parity: the statement ran alone under a never-expiring
+	// flag, so the global totals must equal its breakdown exactly.
+	wt := m.WaitTotals()
+	if wt.ExecNs != f.Waits.ExecNs || wt.LockNs != f.Waits.LockNs ||
+		wt.IONs != f.Waits.IONs || wt.FsyncNs != f.Waits.FsyncNs ||
+		wt.PinWaitNs != f.Waits.PinWaitNs {
+		t.Fatalf("WaitTotals %+v != flagged breakdown %+v", wt, f.Waits)
+	}
+}
+
+// TestWaitAttributionSelects covers the read path: flagged SELECTs on a
+// pool smaller than the table attribute page-load I/O, and the
+// breakdown respects the wall bound.
+func TestWaitAttributionSelects(t *testing.T) {
+	m := monitor.New(monitor.Config{})
+	db, err := Open(Config{Dir: t.TempDir(), PoolPages: 16, Monitor: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.NewSession()
+	defer s.Close()
+	mustExec(t, s, "CREATE TABLE big (id INTEGER PRIMARY KEY, pad VARCHAR(256))")
+	pad := ""
+	for i := 0; i < 200; i++ {
+		pad += "x"
+	}
+	for base := 0; base < 3000; base += 100 {
+		vals := ""
+		for i := base; i < base+100; i++ {
+			if vals != "" {
+				vals += ", "
+			}
+			vals += fmt.Sprintf("(%d, '%s')", i, pad)
+		}
+		mustExec(t, s, "INSERT INTO big (id, pad) VALUES "+vals)
+	}
+	const q = "SELECT COUNT(*) FROM big"
+	mustExec(t, s, q)
+	m.Flag(q, monitor.FlagReasonManual, true, 0)
+	for i := 0; i < 10; i++ {
+		mustExec(t, s, q)
+	}
+	f := m.SnapshotFlags()[0]
+	if f.Samples != 10 {
+		t.Fatalf("samples = %d", f.Samples)
+	}
+	if f.Waits.IONs <= 0 {
+		t.Error("scan over a 16-page pool recorded no page-load I/O")
+	}
+	if f.Waits.Sum() > f.Waits.WallNs {
+		t.Fatalf("breakdown %v exceeds wall %v", f.Waits.Sum(), f.Waits.WallNs)
+	}
+	if cov := float64(f.Waits.Sum()) / float64(f.Waits.WallNs); cov < 0.90 {
+		t.Errorf("select coverage %.1f%% < 90%%", cov*100)
+	}
+}
+
+// TestFlagChurnUnderConcurrentSessions is the integration half of the
+// churn stress: flags come and go (including TTL expiry) while real
+// sessions execute the statements being flagged. Run under -race in CI.
+func TestFlagChurnUnderConcurrentSessions(t *testing.T) {
+	m := monitor.New(monitor.Config{MaxFlagged: 4})
+	db, err := Open(Config{Dir: t.TempDir(), PoolPages: 128, Monitor: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.NewSession()
+	mustExec(t, s, "CREATE TABLE kv (id INTEGER PRIMARY KEY, v INTEGER)")
+	mustExec(t, s, "INSERT INTO kv (id, v) VALUES (1, 0), (2, 0), (3, 0)")
+	s.Close()
+
+	queries := []string{
+		"SELECT v FROM kv WHERE id = 1",
+		"SELECT v FROM kv WHERE id = 2",
+		"UPDATE kv SET v = v + 1 WHERE id = 3",
+		"SELECT COUNT(*) FROM kv",
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		seed := int64(g)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			sess := db.NewSession()
+			defer sess.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sess.Exec(queries[r.Intn(len(queries))]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // the churner: flag, unflag, expire
+		defer wg.Done()
+		r := rand.New(rand.NewSource(99))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			q := queries[r.Intn(len(queries))]
+			switch r.Intn(3) {
+			case 0:
+				m.Flag(q, monitor.FlagReasonTrend, false, time.Millisecond)
+			case 1:
+				m.Unflag(q)
+			case 2:
+				m.ExpireFlags(time.Now())
+			}
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Quiesced invariants: every surviving breakdown respects its wall
+	// bound and the flag count matches the snapshot.
+	for _, f := range m.SnapshotFlags() {
+		if f.Waits.Sum() > f.Waits.WallNs {
+			t.Fatalf("breakdown exceeds wall after churn: %+v", f)
+		}
+	}
+	if n, l := m.FlagCount(), len(m.SnapshotFlags()); n != int64(l) {
+		t.Fatalf("FlagCount %d != snapshot %d", n, l)
+	}
+}

@@ -43,6 +43,28 @@ type ExecTrace struct {
 // SpanMetas returns the plan's operator descriptions in pre-order.
 func (p *Prepared) SpanMetas() []SpanMeta { return p.spans }
 
+// SelfTimes derives each operator's self time — inclusive Nanos minus
+// the inclusive Nanos of its direct children — from the pre-order span
+// layout. Children are exactly the following spans at Depth+1 until a
+// span at the operator's own depth (or shallower) closes the subtree.
+// Clock granularity can make a parent's measured inclusive time
+// marginally smaller than its children's sum; those are clamped to 0.
+func SelfTimes(metas []SpanMeta, counts []SpanCount) []int64 {
+	self := make([]int64, len(metas))
+	for i := range metas {
+		self[i] = counts[i].Nanos
+		for j := i + 1; j < len(metas) && metas[j].Depth > metas[i].Depth; j++ {
+			if metas[j].Depth == metas[i].Depth+1 {
+				self[i] -= counts[j].Nanos
+			}
+		}
+		if self[i] < 0 {
+			self[i] = 0
+		}
+	}
+	return self
+}
+
 // NewTrace returns a trace sized for this plan, to be set on Ctx.Trace
 // before Run.
 func (p *Prepared) NewTrace() *ExecTrace {

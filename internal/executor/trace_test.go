@@ -1,0 +1,50 @@
+package executor
+
+import "testing"
+
+// TestSelfTimes checks the pre-order self-time derivation: each span's
+// inclusive time minus its direct children's, clamped at zero.
+func TestSelfTimes(t *testing.T) {
+	// Tree (pre-order):      root
+	//                       /    \
+	//                    childA  childB
+	//                      |
+	//                   grandkid
+	metas := []SpanMeta{
+		{Kind: "root", Depth: 0},
+		{Kind: "childA", Depth: 1},
+		{Kind: "grandkid", Depth: 2},
+		{Kind: "childB", Depth: 1},
+	}
+	counts := []SpanCount{
+		{Nanos: 100},
+		{Nanos: 50},
+		{Nanos: 20},
+		{Nanos: 30},
+	}
+	got := SelfTimes(metas, counts)
+	want := []int64{20, 30, 20, 30} // root: 100-50-30; childA: 50-20; leaves keep their own
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SelfTimes = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSelfTimesClampsNegative: measurement skew can make a child's
+// inclusive time exceed its parent's; self time clamps at zero rather
+// than going negative.
+func TestSelfTimesClampsNegative(t *testing.T) {
+	metas := []SpanMeta{{Kind: "root", Depth: 0}, {Kind: "child", Depth: 1}}
+	counts := []SpanCount{{Nanos: 10}, {Nanos: 25}}
+	got := SelfTimes(metas, counts)
+	if got[0] != 0 || got[1] != 25 {
+		t.Fatalf("SelfTimes = %v, want [0 25]", got)
+	}
+}
+
+func TestSelfTimesEmpty(t *testing.T) {
+	if got := SelfTimes(nil, nil); len(got) != 0 {
+		t.Fatalf("SelfTimes(nil) = %v", got)
+	}
+}

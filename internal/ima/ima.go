@@ -22,11 +22,19 @@
 //	                  traces, estimated vs. actual
 //	ima_health      — self-observability counters of the monitor and
 //	                  the storage daemon (see RegisterHealth)
+//
+// The adaptive two-phase layer adds two more:
+//
+//	ima_flags       — the phase-2 flag set: which statements are under
+//	                  deep wait attribution, why, and since when
+//	ima_waits       — per-flagged-statement wait-state breakdown
+//	                  (exec / lock / io / fsync / pinwait vs. wall)
 package ima
 
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/monitor"
@@ -290,6 +298,7 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 				sqltypes.Column{Name: "est_rows", Type: sqltypes.Float},
 				sqltypes.Column{Name: "rows", Type: sqltypes.Int},
 				sqltypes.Column{Name: "span_ns", Type: sqltypes.Int},
+				sqltypes.Column{Name: "self_ns", Type: sqltypes.Int},
 				sqltypes.Column{Name: "calls", Type: sqltypes.Int},
 			),
 			provider: func() []sqltypes.Row {
@@ -307,9 +316,77 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 							sqltypes.NewFloat(sp.EstRows),
 							sqltypes.NewInt(sp.Rows),
 							sqltypes.NewInt(sp.Nanos),
+							sqltypes.NewInt(sp.SelfNanos),
 							sqltypes.NewInt(sp.Calls),
 						})
 					}
+				}
+				return rows
+			},
+		},
+		{
+			name: "ima_flags",
+			schema: sqltypes.NewSchema(
+				sqltypes.Column{Name: "hash", Type: sqltypes.Int},
+				sqltypes.Column{Name: "query_text", Type: sqltypes.Text},
+				sqltypes.Column{Name: "reason", Type: sqltypes.Text},
+				sqltypes.Column{Name: "manual", Type: sqltypes.Int},
+				sqltypes.Column{Name: "since_us", Type: sqltypes.Int},
+				sqltypes.Column{Name: "age_us", Type: sqltypes.Int},
+				sqltypes.Column{Name: "expires_us", Type: sqltypes.Int}, // 0 = never
+				sqltypes.Column{Name: "samples", Type: sqltypes.Int},
+			),
+			provider: func() []sqltypes.Row {
+				now := time.Now()
+				flags := mon.SnapshotFlags()
+				rows := make([]sqltypes.Row, 0, len(flags))
+				for _, f := range flags {
+					expires := int64(0)
+					if !f.Expires.IsZero() {
+						expires = f.Expires.UnixMicro()
+					}
+					rows = append(rows, sqltypes.Row{
+						sqltypes.NewInt(int64(f.Hash)),
+						sqltypes.NewText(truncate(f.Text, engine.MaxTextBytes)),
+						sqltypes.NewText(f.Reason),
+						sqltypes.NewBool(f.Manual),
+						sqltypes.NewInt(f.Since.UnixMicro()),
+						sqltypes.NewInt(now.Sub(f.Since).Microseconds()),
+						sqltypes.NewInt(expires),
+						sqltypes.NewInt(f.Samples),
+					})
+				}
+				return rows
+			},
+		},
+		{
+			name: "ima_waits",
+			schema: sqltypes.NewSchema(
+				sqltypes.Column{Name: "hash", Type: sqltypes.Int},
+				sqltypes.Column{Name: "query_text", Type: sqltypes.Text},
+				sqltypes.Column{Name: "samples", Type: sqltypes.Int},
+				sqltypes.Column{Name: "wall_ns", Type: sqltypes.Int},
+				sqltypes.Column{Name: "exec_ns", Type: sqltypes.Int},
+				sqltypes.Column{Name: "lock_ns", Type: sqltypes.Int},
+				sqltypes.Column{Name: "io_ns", Type: sqltypes.Int},
+				sqltypes.Column{Name: "fsync_ns", Type: sqltypes.Int},
+				sqltypes.Column{Name: "pinwait_ns", Type: sqltypes.Int},
+			),
+			provider: func() []sqltypes.Row {
+				flags := mon.SnapshotFlags()
+				rows := make([]sqltypes.Row, 0, len(flags))
+				for _, f := range flags {
+					rows = append(rows, sqltypes.Row{
+						sqltypes.NewInt(int64(f.Hash)),
+						sqltypes.NewText(truncate(f.Text, engine.MaxTextBytes)),
+						sqltypes.NewInt(f.Samples),
+						sqltypes.NewInt(f.Waits.WallNs),
+						sqltypes.NewInt(f.Waits.ExecNs),
+						sqltypes.NewInt(f.Waits.LockNs),
+						sqltypes.NewInt(f.Waits.IONs),
+						sqltypes.NewInt(f.Waits.FsyncNs),
+						sqltypes.NewInt(f.Waits.PinWaitNs),
+					})
 				}
 				return rows
 			},
@@ -361,6 +438,8 @@ func MonitorHealth(mon *monitor.Monitor) []HealthMetric {
 		{"monitor", "workload_depth", float64(mon.WorkloadDepth())},
 		{"monitor", "workload_dropped_total", float64(mon.WorkloadDropped())},
 		{"monitor", "traces_buffered", float64(mon.TraceCount())},
+		{"monitor", "flagged_statements", float64(mon.FlagCount())},
+		{"monitor", "phase2_seconds_total", mon.Phase2Overhead().Seconds()},
 	}
 }
 

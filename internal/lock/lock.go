@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Mode is a lock mode.
@@ -51,6 +52,7 @@ type Stats struct {
 	Waiting   int
 	Grants    int64
 	Waits     int64
+	WaitNanos int64
 	Deadlocks int64
 }
 
@@ -62,6 +64,7 @@ type Manager struct {
 	waitsFor  map[int64]string // session -> resource it is queued on
 	grants    atomic.Int64
 	waits     atomic.Int64
+	waitNanos atomic.Int64 // cumulative time sessions spent parked
 	deadlocks atomic.Int64
 }
 
@@ -117,7 +120,9 @@ func (m *Manager) Acquire(session int64, resource string, mode Mode) error {
 	m.waits.Add(1)
 	m.mu.Unlock()
 
+	t0 := time.Now()
 	err := <-w.ready
+	m.waitNanos.Add(int64(time.Since(t0)))
 	return err
 }
 
@@ -256,6 +261,7 @@ func (m *Manager) Stats() Stats {
 		Waiting:   waiting,
 		Grants:    m.grants.Load(),
 		Waits:     m.waits.Load(),
+		WaitNanos: m.waitNanos.Load(),
 		Deadlocks: m.deadlocks.Load(),
 	}
 }

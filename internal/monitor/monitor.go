@@ -16,6 +16,7 @@
 package monitor
 
 import (
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -111,6 +112,9 @@ type Config struct {
 	// TraceCapacity bounds the ring of per-operator statement traces
 	// (EXPLAIN ANALYZE). Zero means DefaultTraceCapacity.
 	TraceCapacity int
+	// MaxFlagged bounds the phase-2 flag set (flags.go). Zero means
+	// DefaultMaxFlagged.
+	MaxFlagged int
 }
 
 // Monitor is the in-core monitoring component. A disabled monitor adds
@@ -153,6 +157,25 @@ type Monitor struct {
 	// (see trace.go); written only by EXPLAIN ANALYZE, never by the
 	// regular statement hot path.
 	traces traceRing
+
+	// Two-phase adaptive monitoring (flags.go). flaggedCount gates the
+	// hot path: while it is zero, StartStatement/Finish stay on the
+	// phase-1-only path at the cost of a single extra atomic load.
+	flaggedCount atomic.Int64
+	flags        atomic.Pointer[flagSet]
+	flagMu       sync.Mutex // serializes copy-on-write flag set swaps
+	flagCap      int
+
+	// Monitor-global cumulative wait counters (phase 2), mirrored by
+	// the per-statement breakdowns in the flag entries.
+	waitExec  atomic.Int64
+	waitLock  atomic.Int64
+	waitIO    atomic.Int64
+	waitFsync atomic.Int64
+	waitPin   atomic.Int64
+	// phase2Nanos is the self-measured cost of the phase-2 machinery
+	// (flag lookups + wait recording); phase 1 is monNanosTotal.
+	phase2Nanos atomic.Int64
 }
 
 // New creates an enabled monitor with the given configuration. Zero
@@ -196,6 +219,11 @@ func New(cfg Config) *Monitor {
 	}
 	m.evict.init(cfg.StatementCapacity)
 	m.traces.init(cfg.TraceCapacity)
+	m.flagCap = cfg.MaxFlagged
+	if m.flagCap <= 0 {
+		m.flagCap = DefaultMaxFlagged
+	}
+	m.flags.Store(emptyFlags)
 	for i := range m.shards {
 		m.shards[i].init(perRef)
 	}
@@ -236,6 +264,20 @@ type Handle struct {
 	estCPU  float64
 	estIO   float64
 	estRows float64
+
+	// Phase-2 wait accumulation, populated by the engine only when the
+	// statement is flagged (see flags.go). Plain fields: a handle is
+	// owned by one session goroutine. wallNs is latched by Finish so
+	// FlushWaits — which the engine calls after the commit-path waits
+	// have landed — can report the breakdown against the full wall time.
+	profiled bool
+	pm       *Monitor // latched by Profiled; survives Finish's h.m reset
+	execNs   int64
+	lockNs   int64
+	ioNs     int64
+	fsyncNs  int64
+	pinNs    int64
+	wallNs   int64
 }
 
 // HashStatement returns the FNV-64a hash the monitor keys statements
@@ -465,6 +507,17 @@ func (h *Handle) Finish(execCPU, execIO, rows int64, execErr error) {
 	// when every session runs the same statement.
 	ws.wallHist.record(entry.Wall)
 	ws.optHist.record(entry.OptTime)
+
+	// Phase 2: latch the wall time for flagged statements. The wait
+	// breakdown itself is committed by FlushWaits, which the engine
+	// calls once every wait source (including the autocommit durability
+	// wait, which runs after some Finish call sites) has accumulated.
+	// h.profiled is only ever set through Profiled(), which the engine
+	// calls when the flag set is non-empty, so the idle path skips this
+	// without even a load.
+	if h.profiled {
+		h.wallNs = int64(entry.Wall)
+	}
 
 	if live*10 >= int64(m.workCap)*9 && !m.fullFired.Load() &&
 		m.fullFired.CompareAndSwap(false, true) {

@@ -24,9 +24,10 @@ type TraceSpan struct {
 	Detail  string  // operator-specific detail (table, index, ...)
 	Depth   int     // depth in the plan tree; root is 0
 	EstRows float64 // optimizer cardinality estimate
-	Rows    int64   // rows the operator actually produced
-	Nanos   int64   // inclusive wall time inside the operator
-	Calls   int64   // Next() invocations
+	Rows      int64 // rows the operator actually produced
+	Nanos     int64 // inclusive wall time inside the operator
+	SelfNanos int64 // Nanos minus the direct children's inclusive time
+	Calls     int64 // Next() invocations
 }
 
 // Trace is one fully traced statement execution.

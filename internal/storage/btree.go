@@ -577,15 +577,20 @@ type Iterator struct {
 	val  []byte
 	err  error
 	done bool
+	prof *WaitProf // wait attribution for flagged statements; usually nil
 }
 
 // Seek positions an iterator at the first entry with key >= start (or
 // the first entry overall if start is nil).
-func (t *BTree) Seek(start []byte) *Iterator {
-	it := &Iterator{t: t}
+func (t *BTree) Seek(start []byte) *Iterator { return t.SeekProf(start, nil) }
+
+// SeekProf is Seek with a wait profiler attached to the descent and to
+// every leaf page get of the resulting iterator.
+func (t *BTree) SeekProf(start []byte, prof *WaitProf) *Iterator {
+	it := &Iterator{t: t, prof: prof}
 	page := t.root
 	for {
-		p, err := t.file.GetPage(page)
+		p, err := t.file.GetPageProf(page, prof)
 		if err != nil {
 			it.err = err
 			it.done = true
@@ -614,7 +619,7 @@ func (it *Iterator) Next() bool {
 		return false
 	}
 	for {
-		p, err := it.t.file.GetPage(it.page)
+		p, err := it.t.file.GetPageProf(it.page, it.prof)
 		if err != nil {
 			it.err = err
 			it.done = true

@@ -28,6 +28,11 @@ type File struct {
 	// Page.WillModify.
 	wal    *WAL
 	curTxn *WalTxn
+	// curProf, when set, receives wait attribution for every page get
+	// on this file. Like curTxn it is a plain field set under the
+	// owning table's exclusive lock (DML write path only; read paths
+	// thread their profiler explicitly through the iterators).
+	curProf *WaitProf
 
 	mu    sync.Mutex
 	f     *os.File
@@ -69,6 +74,12 @@ func (f *File) AttachWAL(w *WAL) { f.wal = w }
 // this file. Callers hold the owning table's exclusive lock, which is
 // what makes the plain field safe.
 func (f *File) SetWALTxn(t *WalTxn) { f.curTxn = t }
+
+// SetProf attaches a wait profiler to every page get on this file, for
+// the DML write path of a phase-2 flagged statement. Same safety
+// argument as SetWALTxn: set and cleared under the owning table's
+// exclusive lock.
+func (f *File) SetProf(prof *WaitProf) { f.curProf = prof }
 
 // walBarrier enforces WAL-before-data: the page image about to be
 // written carries its last LSN in the trailer, and the log must be
@@ -187,9 +198,22 @@ type Page struct {
 	dirty bool
 }
 
-// GetPage pins the given page for reading or writing.
+// GetPage pins the given page for reading or writing. Wait time is
+// attributed to the file's current profiler, if any (the DML write
+// path under the table's exclusive lock).
 func (f *File) GetPage(page uint32) (*Page, error) {
-	fr, err := f.pool.get(f, page)
+	return f.GetPageProf(page, f.curProf)
+}
+
+// GetPageProf is GetPage with an explicit wait profiler: read paths
+// (which run under shared locks and cannot use the per-file field)
+// thread theirs through here. A nil prof falls back to the file's
+// current profiler.
+func (f *File) GetPageProf(page uint32, prof *WaitProf) (*Page, error) {
+	if prof == nil {
+		prof = f.curProf
+	}
+	fr, err := f.pool.get(f, page, prof)
 	if err != nil {
 		return nil, err
 	}
@@ -201,7 +225,16 @@ func (f *File) GetPage(page uint32) (*Page, error) {
 // before being reused. Batch scans pin one page per batch step through
 // a single reused handle.
 func (f *File) PinPage(page uint32, p *Page) error {
-	fr, err := f.pool.get(f, page)
+	return f.PinPageProf(page, p, f.curProf)
+}
+
+// PinPageProf is PinPage with an explicit wait profiler (see
+// GetPageProf).
+func (f *File) PinPageProf(page uint32, p *Page, prof *WaitProf) error {
+	if prof == nil {
+		prof = f.curProf
+	}
+	fr, err := f.pool.get(f, page, prof)
 	if err != nil {
 		return err
 	}

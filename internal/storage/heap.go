@@ -178,10 +178,17 @@ func insertIntoPage(p *Page, pageNo uint32, rec []byte) (TID, error) {
 
 // Get returns the record stored at tid, or ok=false if it was deleted.
 func (h *Heap) Get(tid TID) (rec []byte, ok bool, err error) {
+	return h.GetProf(tid, nil)
+}
+
+// GetProf is Get with an explicit wait profiler for phase-2 flagged
+// statements (index fetch paths run under shared locks, so the
+// profiler is threaded per call rather than per file).
+func (h *Heap) GetProf(tid TID, prof *WaitProf) (rec []byte, ok bool, err error) {
 	if tid.Page() >= h.file.Pages() {
 		return nil, false, fmt.Errorf("storage: TID %s past end of heap", tid)
 	}
-	p, err := h.file.GetPage(tid.Page())
+	p, err := h.file.GetPageProf(tid.Page(), prof)
 	if err != nil {
 		return nil, false, err
 	}
@@ -393,10 +400,17 @@ type HeapBatchIter struct {
 	pins  [maxBatchPins]Page // frames backing the current batch
 	npins int
 	err   error
+	prof  *WaitProf // wait attribution for flagged statements; usually nil
 }
 
 // ScanBatch returns a batch iterator positioned before the first page.
 func (h *Heap) ScanBatch() *HeapBatchIter { return &HeapBatchIter{h: h} }
+
+// ScanBatchProf is ScanBatch with a wait profiler attached to every
+// page pin of the scan.
+func (h *Heap) ScanBatchProf(prof *WaitProf) *HeapBatchIter {
+	return &HeapBatchIter{h: h, prof: prof}
+}
 
 // release unpins every frame backing the current batch.
 func (it *HeapBatchIter) release() {
@@ -442,7 +456,7 @@ func (it *HeapBatchIter) nextBatch(b *RecBatch, maxRows int) (bool, error) {
 	pages := it.h.file.Pages()
 	for it.page < pages && it.npins < maxBatchPins {
 		p := &it.pins[it.npins]
-		if err := it.h.file.PinPage(it.page, p); err != nil {
+		if err := it.h.file.PinPageProf(it.page, p, it.prof); err != nil {
 			it.err = err
 			return false, err
 		}
@@ -479,10 +493,15 @@ type HeapIter struct {
 	page uint32
 	slot int
 	err  error
+	prof *WaitProf // wait attribution for flagged statements; usually nil
 }
 
 // Iter returns an iterator positioned before the first record.
 func (h *Heap) Iter() *HeapIter { return &HeapIter{h: h} }
+
+// IterProf is Iter with a wait profiler attached to every page get of
+// the scan.
+func (h *Heap) IterProf(prof *WaitProf) *HeapIter { return &HeapIter{h: h, prof: prof} }
 
 // Next returns the next live record (copied out of the page) or
 // ok=false at the end.
@@ -492,7 +511,7 @@ func (it *HeapIter) Next() (TID, []byte, bool, error) {
 	}
 	pages := it.h.file.Pages()
 	for it.page < pages {
-		p, err := it.h.file.GetPage(it.page)
+		p, err := it.h.file.GetPageProf(it.page, it.prof)
 		if err != nil {
 			it.err = err
 			return 0, nil, false, err

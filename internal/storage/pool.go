@@ -340,7 +340,12 @@ func (p *Pool) Resident() int {
 // on flush). A frame becomes visible to other getters only after its
 // read completed: concurrent getters of a cold page block on the load
 // latch and observe the read error if the read failed.
-func (p *Pool) get(f *File, page uint32) (*frame, error) {
+//
+// prof, when non-nil, receives the time this call spent waiting —
+// page reads, load/write latch waits and victim write-backs as I/O,
+// victim WAL barriers as fsync, pinned-full backpressure as pin wait.
+// The nil case (every unprofiled statement) adds no clock reads.
+func (p *Pool) get(f *File, page uint32, prof *WaitProf) (*frame, error) {
 	key := pageKey{file: f.id, page: page}
 	sh := p.shards[key.hash()&p.shardMask]
 	var waited time.Duration
@@ -355,7 +360,13 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 		}
 		if ld, ok := sh.loading[key]; ok {
 			sh.mu.Unlock()
-			<-ld.ready
+			if prof != nil {
+				t0 := time.Now()
+				<-ld.ready
+				prof.AddIO(time.Since(t0))
+			} else {
+				<-ld.ready
+			}
 			if ld.err != nil {
 				return nil, ld.err
 			}
@@ -369,7 +380,13 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 			// the writer re-published the frame (still dirty) and the
 			// retry hits it in memory.
 			sh.mu.Unlock()
-			<-wb.done
+			if prof != nil {
+				t0 := time.Now()
+				<-wb.done
+				prof.AddIO(time.Since(t0))
+			} else {
+				<-wb.done
+			}
 			continue
 		}
 
@@ -389,6 +406,9 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 				}
 				time.Sleep(p.pinWaitStep)
 				waited += p.pinWaitStep
+				if prof != nil {
+					prof.AddPinWait(p.pinWaitStep)
+				}
 				continue
 			}
 			sh.evictFrameLocked(victim, vslot)
@@ -403,9 +423,21 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 				sh.mu.Unlock()
 				// WAL-before-data: the victim's image must not reach disk
 				// before the log records that produced it are durable.
-				werr := victim.file.walBarrier(victim.data[:])
-				if werr == nil {
-					werr = victim.file.writePage(victim.key.page, victim.data[:])
+				var werr error
+				if prof != nil {
+					t0 := time.Now()
+					werr = victim.file.walBarrier(victim.data[:])
+					t1 := time.Now()
+					prof.AddFsync(t1.Sub(t0))
+					if werr == nil {
+						werr = victim.file.writePage(victim.key.page, victim.data[:])
+						prof.AddIO(time.Since(t1))
+					}
+				} else {
+					werr = victim.file.walBarrier(victim.data[:])
+					if werr == nil {
+						werr = victim.file.writePage(victim.key.page, victim.data[:])
+					}
 				}
 				sh.mu.Lock()
 				delete(sh.writing, victim.key)
@@ -450,7 +482,15 @@ func (p *Pool) get(f *File, page uint32) (*frame, error) {
 		fr := &frame{key: key, file: f}
 		fr.pins.Store(1)
 		fr.ref.Store(1)
-		n, err := f.readPage(page, fr.data[:])
+		var n int
+		var err error
+		if prof != nil {
+			t0 := time.Now()
+			n, err = f.readPage(page, fr.data[:])
+			prof.AddIO(time.Since(t0))
+		} else {
+			n, err = f.readPage(page, fr.data[:])
+		}
 		if err == nil && f.wal != nil {
 			fr.lsn.Store(PageLSN(fr.data[:]))
 		}

@@ -497,6 +497,23 @@ type WalTxn struct {
 	done    bool
 	touched map[pageKey]walTouch
 	order   []pageKey // touch order, for deterministic after-image LSNs
+	prof    *WaitProf // wait attribution for flagged statements; usually nil
+}
+
+// SetProf attaches a wait profiler to the transaction: Commit's
+// after-image page gets count as I/O, its durability wait as fsync.
+func (t *WalTxn) SetProf(prof *WaitProf) {
+	if t != nil {
+		t.prof = prof
+	}
+}
+
+// Prof returns the attached wait profiler, or nil.
+func (t *WalTxn) Prof() *WaitProf {
+	if t == nil {
+		return nil
+	}
+	return t.prof
 }
 
 type walTouch struct {
@@ -576,7 +593,7 @@ func (t *WalTxn) Commit(wait bool) error {
 	var firstErr error
 	for _, k := range t.order {
 		tp := t.touched[k]
-		p, err := tp.f.GetPage(tp.page)
+		p, err := tp.f.GetPageProf(tp.page, t.prof)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -607,6 +624,12 @@ func (t *WalTxn) Commit(wait bool) error {
 		return firstErr
 	}
 	if wait {
+		if t.prof != nil {
+			t0 := time.Now()
+			err := w.WaitDurable(clsn)
+			t.prof.AddFsync(time.Since(t0))
+			return err
+		}
 		return w.WaitDurable(clsn)
 	}
 	w.kickFlusher()

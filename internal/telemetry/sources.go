@@ -54,6 +54,26 @@ func MonitorSource(m *monitor.Monitor) Source {
 			{Name: "monitor_workload_dropped_total", Help: "Workload entries lost to ring wraparound.", Kind: Counter, Value: float64(m.WorkloadDropped())},
 			{Name: "monitor_traces_buffered", Help: "EXPLAIN ANALYZE traces in the trace ring.", Kind: Gauge, Value: float64(m.TraceCount())},
 		}
+		// Adaptive two-phase layer: the flag set, the per-class wait
+		// attribution totals, and the monitor's own overhead split into
+		// phase 1 (always-on sensors) and phase 2 (wait recording).
+		wt := m.WaitTotals()
+		phase1 := m.TotalMonitorTime().Seconds()
+		phase2 := m.Phase2Overhead().Seconds()
+		ms = append(ms,
+			Metric{Name: "engine_flagged_statements", Help: "Statements currently under phase-2 wait attribution.", Kind: Gauge, Value: float64(m.FlagCount())},
+			Metric{Name: "engine_wait_exec_ns_total", Help: "Executor self-time attributed to flagged statements, nanoseconds.", Kind: Counter, Value: float64(wt.ExecNs)},
+			Metric{Name: "engine_wait_lock_ns_total", Help: "Lock acquisition wait attributed to flagged statements, nanoseconds.", Kind: Counter, Value: float64(wt.LockNs)},
+			Metric{Name: "engine_wait_io_ns_total", Help: "Buffer-pool page I/O wait attributed to flagged statements, nanoseconds.", Kind: Counter, Value: float64(wt.IONs)},
+			Metric{Name: "engine_wait_fsync_ns_total", Help: "WAL group-commit/fsync wait attributed to flagged statements, nanoseconds.", Kind: Counter, Value: float64(wt.FsyncNs)},
+			Metric{Name: "engine_wait_pinwait_ns_total", Help: "Pinned-pool backpressure wait attributed to flagged statements, nanoseconds.", Kind: Counter, Value: float64(wt.PinWaitNs)},
+			Metric{Name: "monitor_overhead_phase2_seconds_total", Help: "Wallclock seconds inside the phase-2 machinery (flag lookups, wait recording).", Kind: Counter, Value: phase2},
+		)
+		if wallSum > 0 {
+			ms = append(ms, Metric{Name: "monitor_overhead_ratio",
+				Help: "Monitor self-overhead (phase 1 + phase 2) over total statement wallclock.",
+				Kind: Gauge, Value: (phase1 + phase2) / wallSum.Seconds()})
+		}
 		ms = append(ms, HistogramMetrics("monitor_statement_wall_ns",
 			"Statement wallclock latency in nanoseconds.", &wall, wallSum.Seconds()*1e9)...)
 		ms = append(ms, HistogramMetrics("monitor_statement_opt_ns",
@@ -74,6 +94,7 @@ func EngineSource(db *engine.DB) Source {
 			{Name: "engine_statements_total", Help: "Statements executed.", Kind: Counter, Value: float64(st.Statements)},
 			{Name: "engine_locks_held", Help: "Locks currently held.", Kind: Gauge, Value: float64(st.LocksHeld)},
 			{Name: "engine_lock_waits_total", Help: "Lock acquisitions that waited.", Kind: Counter, Value: float64(st.LockWaits)},
+			{Name: "engine_lock_wait_seconds_total", Help: "Wallclock seconds sessions spent parked on lock queues.", Kind: Counter, Value: float64(st.LockWaitNanos) / 1e9},
 			{Name: "engine_deadlocks_total", Help: "Deadlocks detected.", Kind: Counter, Value: float64(st.Deadlocks)},
 			{Name: "engine_cache_hits_total", Help: "Buffer pool hits.", Kind: Counter, Value: float64(st.CacheHits)},
 			{Name: "engine_cache_misses_total", Help: "Buffer pool misses.", Kind: Counter, Value: float64(st.CacheMisses)},

@@ -26,6 +26,7 @@ const (
 	Statistics = "ws_statistics"
 	Latency    = "ws_latency"
 	Actions    = "ws_actions"
+	Waits      = "ws_waits"
 )
 
 // StatementTextMax bounds persisted statement text in bytes. It
@@ -85,10 +86,18 @@ var schemaDDL = []string{
 		target VARCHAR(64), sql_text VARCHAR(512), state VARCHAR(16),
 		baseline_us BIGINT, observed_us BIGINT, delta_pct FLOAT,
 		samples BIGINT, at_us BIGINT, detail VARCHAR(512))`,
+	// Phase-2 wait attribution: one row per flagged statement per poll,
+	// with cumulative nanosecond counters per wait class (counter
+	// semantics, like ws_latency: the analyzer differences successive
+	// snapshots of the same hash for per-interval breakdowns).
+	`CREATE TABLE IF NOT EXISTS ` + Waits + ` (
+		ts_us BIGINT, hash BIGINT, query_text VARCHAR(512), reason VARCHAR(16),
+		samples BIGINT, wall_ns BIGINT, exec_ns BIGINT, lock_ns BIGINT,
+		io_ns BIGINT, fsync_ns BIGINT, pinwait_ns BIGINT)`,
 }
 
 // AllTables lists every workload table, for pruning and reporting.
-var AllTables = []string{Statements, Workload, References, Tables, Attributes, Indexes, Statistics, Latency, Actions}
+var AllTables = []string{Statements, Workload, References, Tables, Attributes, Indexes, Statistics, Latency, Actions, Waits}
 
 // EnsureSchema creates the workload tables if they do not exist.
 func EnsureSchema(db *engine.DB) error {
