@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/charts"
 	"repro/internal/engine"
@@ -48,6 +49,11 @@ const (
 	// application/configuration changes, not DDL.
 	KindLockWait    Kind = "reduce-lock-waits"
 	KindGroupCommit Kind = "tune-group-commit"
+	// KindMvccSnapshot and KindMvccConflict come from the MVCC health
+	// rule over ws_mvcc. Both are advisory: closing long transactions
+	// and de-contending hot rows are application changes.
+	KindMvccSnapshot Kind = "close-long-snapshots"
+	KindMvccConflict Kind = "reduce-write-conflicts"
 )
 
 // Recommendation is one proposed change with the DDL that implements
@@ -124,6 +130,13 @@ type Config struct {
 	// flagged statement needs in ws_waits before its breakdown is
 	// judged (default 8).
 	MinWaitSamples int64
+	// MaxSnapshotAge triggers the MVCC long-snapshot advisory when the
+	// latest poll's oldest active snapshot is older than this (default
+	// 60s — twice the daemon's poll interval).
+	MaxSnapshotAge time.Duration
+	// MinWriteConflicts is the differenced write-conflict count an
+	// interval needs before the conflict rule fires (default 5).
+	MinWriteConflicts int64
 }
 
 // Analyzer scans collected data and recommends design changes.
@@ -167,6 +180,12 @@ func New(cfg Config) (*Analyzer, error) {
 	if cfg.MinWaitSamples <= 0 {
 		cfg.MinWaitSamples = 8
 	}
+	if cfg.MaxSnapshotAge <= 0 {
+		cfg.MaxSnapshotAge = 60 * time.Second
+	}
+	if cfg.MinWriteConflicts <= 0 {
+		cfg.MinWriteConflicts = 5
+	}
 	return &Analyzer{cfg: cfg}, nil
 }
 
@@ -196,6 +215,9 @@ func (a *Analyzer) Analyze() (*Report, error) {
 		return nil, err
 	}
 	if err := a.ruleWaitStates(rep); err != nil {
+		return nil, err
+	}
+	if err := a.ruleMvcc(rep); err != nil {
 		return nil, err
 	}
 	if err := a.adviseIndexes(rep); err != nil {

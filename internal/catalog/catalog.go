@@ -72,12 +72,27 @@ type Catalog struct {
 	tables     map[string]*Table
 	indexes    map[string]*Index
 	histograms map[string]*Histogram // key: table + "." + column (lower)
+	txn        TxnStatus
+}
+
+// TxnStatus is the persisted MVCC transaction state, written at
+// checkpoint. NextTxnID is a lower bound on the id allocator after
+// restart (recovery also scans WAL owners for a higher floor). Aborted
+// lists transaction ids whose versions are invisible but may still be
+// referenced by on-disk records; vacuum retires them. Inflight lists
+// ids that were open at checkpoint time — recovery treats any of them
+// without a durable WAL commit record as aborted.
+type TxnStatus struct {
+	NextTxnID uint64   `json:"next_txn_id,omitempty"`
+	Aborted   []uint64 `json:"aborted,omitempty"`
+	Inflight  []uint64 `json:"inflight,omitempty"`
 }
 
 type catalogFile struct {
 	Tables     []*Table     `json:"tables"`
 	Indexes    []*Index     `json:"indexes"`
 	Histograms []*Histogram `json:"histograms"`
+	Txn        TxnStatus    `json:"txn,omitempty"`
 }
 
 // New creates an empty in-memory catalog.
@@ -114,7 +129,36 @@ func Load(dir string) (*Catalog, error) {
 	for _, h := range cf.Histograms {
 		c.histograms[histKey(h.Table, h.Column)] = h
 	}
+	c.txn = cf.Txn
 	return c, nil
+}
+
+// TxnStatus returns the persisted MVCC transaction state.
+func (c *Catalog) TxnStatus() TxnStatus {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.txn
+}
+
+// SetTxnStatus replaces the persisted MVCC transaction state. The
+// caller follows with Save (typically at checkpoint).
+func (c *Catalog) SetTxnStatus(ts TxnStatus) {
+	c.mu.Lock()
+	c.txn = ts
+	c.mu.Unlock()
+}
+
+// SyncTableStats updates the physical counters of a table entry under
+// the catalog lock. Commit paths call this concurrently with
+// checkpoint's Save, which marshals the same Table structs — the lock
+// is what keeps the JSON encoder from reading the fields mid-write.
+func (c *Catalog) SyncTableStats(name string, rows int64, mainPages uint32) {
+	c.mu.Lock()
+	if t := c.tables[lower(name)]; t != nil {
+		t.Rows = rows
+		t.MainPages = mainPages
+	}
+	c.mu.Unlock()
 }
 
 // Save writes the catalog to its backing file, if any.
@@ -129,6 +173,7 @@ func (c *Catalog) saveLocked() error {
 		return nil
 	}
 	var cf catalogFile
+	cf.Txn = c.txn
 	for _, t := range c.tables {
 		cf.Tables = append(cf.Tables, t)
 	}

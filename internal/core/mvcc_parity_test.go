@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/workloaddb"
+)
+
+// TestMvccTelemetryParity is the outermost-layer parity check for the
+// MVCC counters: after a workload that exercises begins, commits,
+// aborts, write conflicts and a vacuum pass, the engine_mvcc_* metrics
+// on the telemetry plane must equal the columns of the latest ws_mvcc
+// row the daemon persisted — same sensors, two exposure paths.
+func TestMvccTelemetryParity(t *testing.T) {
+	sys, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	s := sys.Session()
+	if _, err := s.Exec("CREATE TABLE mp (id INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("INSERT INTO mp VALUES (1, 0), (2, 0)"); err != nil {
+		t.Fatal(err)
+	}
+	// A committed transaction, a rollback, update churn for vacuum...
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("UPDATE mp SET v = 1 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("UPDATE mp SET v = 2 WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	s.Rollback()
+
+	// ...and a first-updater-wins conflict between two sessions.
+	s2 := sys.Session()
+	if err := s.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("SELECT v FROM mp WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Exec("UPDATE mp SET v = 7 WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("UPDATE mp SET v = 8 WHERE id = 2"); !errors.Is(err, engine.ErrWriteConflict) {
+		t.Fatalf("want ErrWriteConflict, got %v", err)
+	}
+	s.Rollback()
+	s2.Close()
+	s.Close()
+
+	// The poll runs vacuum and then snapshots MvccStats into ws_mvcc.
+	// With every session closed the counters are quiescent, so a
+	// Gather() afterwards reads the same values the row froze.
+	if err := sys.Poll(); err != nil {
+		t.Fatal(err)
+	}
+
+	ws := sys.WorkloadDB.NewSession()
+	defer ws.Close()
+	res, err := ws.Exec(fmt.Sprintf(`SELECT ts_us, txn_begins, txn_commits, txn_aborts,
+		write_conflicts, inflight_txns, active_snapshots, aborted_ids,
+		oldest_snapshot_ns, vacuum_runs, vacuum_reclaimed, vacuum_cleared,
+		retired_ids, chain_len_p95 FROM %s ORDER BY ts_us`, workloaddb.Mvcc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no ws_mvcc row persisted by the poll")
+	}
+	row := res.Rows[len(res.Rows)-1]
+
+	metrics := map[string]float64{}
+	for _, m := range sys.Telemetry.Gather() {
+		if len(m.Labels) == 0 {
+			metrics[m.Name] = m.Value
+		}
+	}
+	for i, name := range []string{
+		"engine_mvcc_txn_begins_total",
+		"engine_mvcc_txn_commits_total",
+		"engine_mvcc_txn_aborts_total",
+		"engine_mvcc_write_conflicts_total",
+		"engine_mvcc_inflight_txns",
+		"engine_mvcc_active_snapshots",
+		"engine_mvcc_aborted_ids",
+		"engine_mvcc_oldest_snapshot_ns",
+		"engine_mvcc_vacuum_runs_total",
+		"engine_mvcc_vacuum_reclaimed_total",
+		"engine_mvcc_vacuum_cleared_total",
+		"engine_mvcc_retired_ids_total",
+		"engine_mvcc_chain_len_p95",
+	} {
+		got, ok := metrics[name]
+		if !ok {
+			t.Errorf("metric %s not exported", name)
+			continue
+		}
+		if want := row[i+1].I; int64(got) != want {
+			t.Errorf("%s = %d, ws_mvcc column = %d", name, int64(got), want)
+		}
+	}
+
+	// Spot-check the workload actually moved the interesting counters,
+	// so the parity above is not a vacuous all-zeroes match.
+	if row[1].I == 0 || row[2].I == 0 || row[3].I == 0 || row[4].I == 0 {
+		t.Errorf("workload left begins/commits/aborts/conflicts at %d/%d/%d/%d, parity check vacuous",
+			row[1].I, row[2].I, row[3].I, row[4].I)
+	}
+	if row[9].I == 0 {
+		t.Error("poll did not run vacuum (vacuum_runs = 0)")
+	}
+}

@@ -155,6 +155,9 @@ type Config struct {
 	// flagged into phase-2 wait attribution, and stale flags expire.
 	// The resulting breakdowns are persisted into ws_waits.
 	Flagger *monitor.Flagger
+	// DisableVacuum turns off the MVCC garbage-collection pass that
+	// otherwise rides every poll (one engine.Vacuum over the source).
+	DisableVacuum bool
 	// Logf receives diagnostics: transient poll failures, retry
 	// scheduling, alert errors. nil discards them.
 	Logf func(format string, args ...any)
@@ -435,6 +438,21 @@ func (d *Daemon) Poll() error {
 		}
 	}
 	if err := d.appendWaits(target, ts); err != nil {
+		errs = append(errs, err)
+	}
+
+	// 2c. MVCC garbage collection rides the poll — "disk accesses on
+	// the daemon's schedule" extends naturally to version reclamation —
+	// then the snapshot-isolation health counters are persisted.
+	if !d.cfg.DisableVacuum {
+		if vs, err := d.cfg.Source.Vacuum(); err != nil {
+			errs = append(errs, fmt.Errorf("daemon: vacuum: %w", err))
+		} else if vs.Reclaimed > 0 || vs.Cleared > 0 || vs.Retired > 0 {
+			d.logf("daemon: vacuum: reclaimed %d, cleared %d stamps, retired %d txn ids",
+				vs.Reclaimed, vs.Cleared, vs.Retired)
+		}
+	}
+	if err := d.appendMvcc(target, ts); err != nil {
 		errs = append(errs, err)
 	}
 
@@ -826,6 +844,29 @@ func (d *Daemon) appendWaits(x execTarget, ts int64) error {
 		return nil
 	}
 	_, err := d.insertBatch(x, workloaddb.Waits, rows)
+	return err
+}
+
+// appendMvcc persists one ws_mvcc row per poll with the source's
+// snapshot-isolation health counters (mirroring ima_mvcc).
+func (d *Daemon) appendMvcc(x execTarget, ts int64) error {
+	mv := d.cfg.Source.MvccStats()
+	row := tsRow(ts, sqltypes.Row{
+		sqltypes.NewInt(mv.TxnBegins),
+		sqltypes.NewInt(mv.TxnCommits),
+		sqltypes.NewInt(mv.TxnAborts),
+		sqltypes.NewInt(mv.WriteConflicts),
+		sqltypes.NewInt(mv.InflightTxns),
+		sqltypes.NewInt(mv.ActiveSnapshots),
+		sqltypes.NewInt(mv.AbortedIDs),
+		sqltypes.NewInt(mv.OldestSnapshotNanos),
+		sqltypes.NewInt(mv.VacuumRuns),
+		sqltypes.NewInt(mv.VacuumReclaimed),
+		sqltypes.NewInt(mv.VacuumCleared),
+		sqltypes.NewInt(mv.RetiredIDs),
+		sqltypes.NewInt(mv.ChainLenP95),
+	})
+	_, err := d.insertBatch(x, workloaddb.Mvcc, []sqltypes.Row{row})
 	return err
 }
 

@@ -33,7 +33,17 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 			s := db.NewSession()
 			defer s.Close()
 			for i := 0; i < 50; i++ {
-				if _, err := s.Exec(fmt.Sprintf("UPDATE counters SET n = n + 1 WHERE id = %d", i)); err != nil {
+				// First-updater-wins: a concurrent writer that committed
+				// first aborts this statement's transaction; retrying
+				// with a fresh snapshot is the client's job under SI.
+				for {
+					_, err := s.Exec(fmt.Sprintf("UPDATE counters SET n = n + 1 WHERE id = %d", i))
+					if err == nil {
+						break
+					}
+					if errors.Is(err, ErrWriteConflict) {
+						continue
+					}
 					errCh <- err
 					return
 				}
@@ -94,21 +104,21 @@ func TestTransactionsAndDeadlockViaSQL(t *testing.T) {
 	defer s2.Close()
 
 	s1.Begin()
-	mustExec(t, s1, "UPDATE ta SET id = id WHERE id = -1") // X on ta
+	mustExec(t, s1, "UPDATE ta SET id = id WHERE id = 1") // row X on ta(1)
 
 	s2.Begin()
-	mustExec(t, s2, "UPDATE tb SET id = id WHERE id = -1") // X on tb
+	mustExec(t, s2, "UPDATE tb SET id = id WHERE id = 1") // row X on tb(1)
 
-	// s1 now waits for tb...
+	// s1 now waits for s2's row lock on tb(1)...
 	done := make(chan error, 1)
 	go func() {
-		_, err := s1.Exec("UPDATE tb SET id = id WHERE id = -1")
+		_, err := s1.Exec("UPDATE tb SET id = id WHERE id = 1")
 		done <- err
 	}()
 	time.Sleep(50 * time.Millisecond)
 
-	// ...and s2 requesting ta closes the cycle: s2 must be the victim.
-	_, err := s2.Exec("UPDATE ta SET id = id WHERE id = -1")
+	// ...and s2 requesting ta(1) closes the cycle: s2 must be the victim.
+	_, err := s2.Exec("UPDATE ta SET id = id WHERE id = 1")
 	if !errors.Is(err, lock.ErrDeadlock) {
 		t.Fatalf("expected deadlock, got %v", err)
 	}
@@ -126,37 +136,68 @@ func TestTransactionsAndDeadlockViaSQL(t *testing.T) {
 	}
 }
 
-// TestTransactionHoldsLocks verifies that Begin keeps an X lock across
-// statements until Commit.
+// TestTransactionHoldsLocks verifies the MVCC lock scope: an open
+// transaction keeps its row write locks until Commit — a second writer
+// on the same row blocks and then loses first-updater-wins — while
+// readers never block on it and see the pre-transaction snapshot.
 func TestTransactionHoldsLocks(t *testing.T) {
 	db := testDB(t)
 	s := db.NewSession()
-	mustExec(t, s, "CREATE TABLE tx (id INTEGER PRIMARY KEY)")
-	mustExec(t, s, "INSERT INTO tx VALUES (1)")
+	mustExec(t, s, "CREATE TABLE tx (id INTEGER PRIMARY KEY, n INTEGER)")
+	mustExec(t, s, "INSERT INTO tx VALUES (1, 0)")
 
 	s.Begin()
-	mustExec(t, s, "UPDATE tx SET id = id WHERE id = -1")
+	mustExec(t, s, "UPDATE tx SET n = 1 WHERE id = 1")
 	if st := db.LockStats(); st.Held == 0 {
 		t.Fatal("no lock held inside the transaction")
 	}
 
-	blocked := make(chan struct{})
+	// Readers run against their snapshot: no blocking, no dirty read.
+	readerDone := make(chan struct{})
 	go func() {
+		defer close(readerDone)
 		s2 := db.NewSession()
 		defer s2.Close()
-		s2.Exec("SELECT COUNT(*) FROM tx") // blocks on the X lock
-		close(blocked)
+		res, err := s2.Exec("SELECT n FROM tx WHERE id = 1")
+		if err != nil {
+			t.Errorf("reader: %v", err)
+			return
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].I != 0 {
+			t.Errorf("reader saw %v, want the pre-transaction n=0", res.Rows)
+		}
 	}()
 	select {
-	case <-blocked:
-		t.Fatal("reader was not blocked by the open transaction")
+	case <-readerDone:
+	case <-time.After(time.Second):
+		t.Fatal("reader blocked on the open transaction")
+	}
+
+	// A second writer on the same row blocks on the row lock...
+	blocked := make(chan error, 1)
+	go func() {
+		s3 := db.NewSession()
+		defer s3.Close()
+		_, err := s3.Exec("UPDATE tx SET n = 2 WHERE id = 1")
+		blocked <- err
+	}()
+	select {
+	case err := <-blocked:
+		t.Fatalf("second writer was not blocked (err=%v)", err)
 	case <-time.After(100 * time.Millisecond):
 	}
-	s.Commit()
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and after the first committed, its recheck finds the row
+	// superseded: first-updater-wins.
 	select {
-	case <-blocked:
+	case err := <-blocked:
+		if !errors.Is(err, ErrWriteConflict) {
+			t.Fatalf("second writer: got %v, want ErrWriteConflict", err)
+		}
 	case <-time.After(time.Second):
-		t.Fatal("reader still blocked after commit")
+		t.Fatal("second writer still blocked after commit")
 	}
 	s.Close()
 }

@@ -174,6 +174,9 @@ func (db *DB) buildIndexStorage(h *tableHandle, name string, cols []string, uniq
 	if err != nil {
 		return nil, err
 	}
+	// Every heap version gets an entry — scans filter by visibility and
+	// vacuum removes entries with the versions, exactly as on the DML
+	// path. Uniqueness is verified afterwards over live versions only.
 	it := h.heap.Iter()
 	for {
 		tid, rec, ok, nerr := it.Next()
@@ -183,7 +186,10 @@ func (db *DB) buildIndexStorage(h *tableHandle, name string, cols []string, uniq
 		if !ok {
 			break
 		}
-		row, derr := sqltypes.DecodeRow(rec)
+		if len(rec) < storage.VersionHeaderSize {
+			return nil, fmt.Errorf("engine: unversioned record %v in %s", tid, h.meta.Name)
+		}
+		row, derr := sqltypes.DecodeRow(storage.VersionPayload(rec))
 		if derr != nil {
 			return nil, derr
 		}
@@ -191,11 +197,13 @@ func (db *DB) buildIndexStorage(h *tableHandle, name string, cols []string, uniq
 		if kerr != nil {
 			return nil, kerr
 		}
-		if unique && existsInRange(bt, key) {
-			return nil, fmt.Errorf("engine: duplicate key while building unique index %s", name)
-		}
 		if perr := bt.Put(tidSuffix(key, tid), tidBytes(tid)); perr != nil {
 			return nil, perr
+		}
+	}
+	if unique {
+		if err := db.verifyUniqueLive(h, bt, name); err != nil {
+			return nil, err
 		}
 	}
 	return bt, nil
@@ -275,6 +283,7 @@ func (db *DB) execCreateStatistics(st *sqlparser.CreateStatisticsStmt) (*Result,
 		}
 	}
 	samples := make([][]sqltypes.Value, len(cols))
+	sn := db.txns.realitySnapshot()
 	it := h.heap.Iter()
 	n := 0
 	for n < statisticsSampleCap {
@@ -285,7 +294,13 @@ func (db *DB) execCreateStatistics(st *sqlparser.CreateStatisticsStmt) (*Result,
 		if !ok {
 			break
 		}
-		row, err := sqltypes.DecodeRow(rec)
+		if len(rec) < storage.VersionHeaderSize {
+			return nil, fmt.Errorf("engine: unversioned record in %s", st.Table)
+		}
+		if !sn.visible(storage.ReadVersionHeader(rec)) {
+			continue
+		}
+		row, err := sqltypes.DecodeRow(storage.VersionPayload(rec))
 		if err != nil {
 			return nil, err
 		}

@@ -2,14 +2,93 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/expr"
+	"repro/internal/lock"
 	"repro/internal/monitor"
 	"repro/internal/sqlparser"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
 )
+
+// MVCC write protocol. Every DML statement runs in five phases:
+//
+//  1. Snapshot scan: matching (tid, row) pairs are collected against
+//     the statement's snapshot, without any row lock.
+//  2. Row locks: an exclusive row lock is taken per matched version, in
+//     TID order (the heap scan already yields ascending TIDs), held
+//     until the transaction commits or aborts. Readers never take these.
+//  3. Statement write gate: one exclusive per-table gate serializes the
+//     physical write-out of concurrent statements — it is what makes
+//     version headers stable for the rechecks and keeps the per-file
+//     WAL-transaction attachment single-writer. It is released at the
+//     end of the statement, after the statement's WAL unit is finished.
+//  4. Recheck: under the gate each locked version's header is reread.
+//     A committed (or in-flight) superseding writer means another
+//     transaction got there first: the statement fails with
+//     ErrWriteConflict and the whole transaction aborts
+//     (first-updater-wins). An aborted xmax is overwritten.
+//  5. Write-out: updates stamp xmax on the old version and insert a new
+//     one chained to it; deletes only stamp xmax. Old index entries stay
+//     until vacuum — scans filter by visibility.
+//
+// A gate holder never waits on a row lock (locks are taken before the
+// gate), so gate waits cannot extend deadlock cycles; row-row and
+// table-lock cycles are caught by the lock manager's wait-for graph.
+
+// rowLockKey names the row-level write-lock resource of (table, tid).
+// The "r!" prefix keeps it disjoint from table names.
+func rowLockKey(table string, tid storage.TID) string {
+	return "r!" + table + "!" + strconv.FormatUint(uint64(tid), 16)
+}
+
+// writeGateKey names the per-table statement write gate.
+func writeGateKey(table string) string { return "w!" + table }
+
+// acquireLock takes a lock for the session, attributing wait time to a
+// flagged statement's profiler.
+func (s *Session) acquireLock(resource string, mode lock.Mode, h *monitor.Handle) error {
+	var t0 time.Time
+	if s.prof != nil {
+		t0 = time.Now()
+	}
+	err := s.db.locks.Acquire(s.id, resource, mode)
+	if s.prof != nil && h != nil {
+		h.AddLockWait(time.Since(t0))
+	}
+	return err
+}
+
+// conflictErr counts and builds a first-updater-wins conflict error.
+func (db *DB) conflictErr(format string, args ...any) error {
+	db.txns.conflicts.Add(1)
+	return fmt.Errorf("%w: %s", ErrWriteConflict, fmt.Sprintf(format, args...))
+}
+
+// withWriteGate runs fn holding the table's statement write gate with
+// the statement's WAL transaction attached to the table's files. The
+// statement's WAL unit is finished (not yet durable — transaction
+// durability comes from the MVCC commit record) before the gate is
+// released, so the next writer's attachment never overlaps this one's
+// unfinished page captures.
+func (s *Session) withWriteGate(th *tableHandle, h *monitor.Handle, fn func() error) error {
+	db := s.db
+	gate := writeGateKey(strings.ToLower(th.meta.Name))
+	if err := s.acquireLock(gate, lockX, h); err != nil {
+		return err
+	}
+	detach := db.attachWalTxn(th, s.wtx)
+	err := fn()
+	detach()
+	if ferr := s.finishWalTxn(false); ferr != nil && err == nil {
+		err = ferr
+	}
+	db.locks.Release(s.id, gate)
+	return err
+}
 
 // evalConst evaluates an expression with no row context (INSERT
 // values).
@@ -27,13 +106,14 @@ func (noColumns) Resolve(table, column string) (int, sqltypes.Type, error) {
 	return 0, 0, fmt.Errorf("engine: column references are not allowed here")
 }
 
-func (db *DB) execInsert(st *sqlparser.InsertStmt, params []sqltypes.Value, wtx *storage.WalTxn, h *monitor.Handle) (*Result, error) {
+func (s *Session) execInsert(st *sqlparser.InsertStmt, params []sqltypes.Value, h *monitor.Handle) (*Result, error) {
+	db := s.db
 	th := db.handle(st.Table)
 	if th == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
 	}
-	defer db.attachWalTxn(th, wtx)()
 	schema := th.meta.Schema
+	self := s.ensureTxnID()
 
 	// Column mapping: position i of the VALUES row goes to colMap[i].
 	colMap := make([]int, 0, schema.Len())
@@ -51,7 +131,9 @@ func (db *DB) execInsert(st *sqlparser.InsertStmt, params []sqltypes.Value, wtx 
 		}
 	}
 
-	var inserted int64
+	// Evaluate all rows before taking the gate: expression errors should
+	// not cost serialization.
+	rows := make([]sqltypes.Row, 0, len(st.Rows))
 	for _, valueRow := range st.Rows {
 		if len(valueRow) != len(colMap) {
 			return nil, fmt.Errorf("engine: INSERT row has %d values, expected %d", len(valueRow), len(colMap))
@@ -71,18 +153,31 @@ func (db *DB) execInsert(st *sqlparser.InsertStmt, params []sqltypes.Value, wtx 
 		if err != nil {
 			return nil, err
 		}
-		if _, err := db.insertRow(th, coerced); err != nil {
-			return nil, err
-		}
-		inserted++
+		rows = append(rows, coerced)
 	}
-	db.syncMeta(th)
+
+	var inserted int64
+	err := s.withWriteGate(th, h, func() error {
+		for _, row := range rows {
+			if _, err := db.insertVersion(th, row, storage.VersionHeader{Xmin: self}, self); err != nil {
+				return err
+			}
+			inserted++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.addDelta(th.meta.Name, inserted)
 	return &Result{RowsAffected: inserted}, nil
 }
 
-// matchRows scans a table and returns TIDs and rows matching the
-// predicate (nil matches everything).
-func (db *DB) matchRows(th *tableHandle, where sqlparser.Expr, params []sqltypes.Value) ([]storage.TID, []sqltypes.Row, error) {
+// matchVisible scans a table and returns the TIDs and decoded rows of
+// the versions visible to the session's snapshot that match the
+// predicate (nil matches everything). TIDs come back in ascending
+// (physical) order — the row-lock acquisition order.
+func (s *Session) matchVisible(th *tableHandle, where sqlparser.Expr, params []sqltypes.Value) ([]storage.TID, []sqltypes.Row, error) {
 	var pred expr.Compiled
 	if where != nil {
 		res := &expr.SimpleResolver{}
@@ -95,6 +190,7 @@ func (db *DB) matchRows(th *tableHandle, where sqlparser.Expr, params []sqltypes
 			return nil, nil, err
 		}
 	}
+	sn := s.snap
 	env := expr.Env{Params: params}
 	var tids []storage.TID
 	var rows []sqltypes.Row
@@ -107,7 +203,13 @@ func (db *DB) matchRows(th *tableHandle, where sqlparser.Expr, params []sqltypes
 		if !ok {
 			return tids, rows, nil
 		}
-		row, err := sqltypes.DecodeRow(rec)
+		if len(rec) < storage.VersionHeaderSize {
+			return nil, nil, fmt.Errorf("engine: unversioned record %v in %s", tid, th.meta.Name)
+		}
+		if !sn.visible(storage.ReadVersionHeader(rec)) {
+			continue
+		}
+		row, err := sqltypes.DecodeRow(storage.VersionPayload(rec))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -126,13 +228,54 @@ func (db *DB) matchRows(th *tableHandle, where sqlparser.Expr, params []sqltypes
 	}
 }
 
-func (db *DB) execUpdate(st *sqlparser.UpdateStmt, params []sqltypes.Value, wtx *storage.WalTxn, h *monitor.Handle) (*Result, error) {
+// lockMatched acquires the exclusive row locks for the matched TIDs (in
+// the ascending order matchVisible returned them).
+func (s *Session) lockMatched(th *tableHandle, tids []storage.TID, h *monitor.Handle) error {
+	table := strings.ToLower(th.meta.Name)
+	for _, tid := range tids {
+		if err := s.acquireLock(rowLockKey(table, tid), lockX, h); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recheckWritable rereads the header of a locked version under the
+// write gate and decides its fate: write it (true), skip it silently
+// (false — this transaction already superseded it), or fail with a
+// write conflict (a competing transaction committed a newer version
+// between this statement's snapshot and its lock acquisition).
+func (db *DB) recheckWritable(th *tableHandle, tid storage.TID, self uint64) (bool, error) {
+	rec, ok, err := th.heap.Get(tid)
+	if err != nil {
+		return false, err
+	}
+	if !ok || len(rec) < storage.VersionHeaderSize {
+		return false, db.conflictErr("version %v of %s was reclaimed under the statement", tid, th.meta.Name)
+	}
+	hdr := storage.ReadVersionHeader(rec)
+	switch {
+	case hdr.Xmax == 0:
+		return true, nil
+	case hdr.Xmax == self:
+		return false, nil // an earlier statement of this transaction superseded it
+	case db.txns.stateOf(hdr.Xmax) == txnAborted:
+		return true, nil // stale stamp of an aborted writer: overwrite
+	default:
+		// Committed — or, impossibly under the row lock, still in
+		// flight — superseding writer: first updater wins.
+		return false, db.conflictErr("row %v of %s superseded by transaction %d", tid, th.meta.Name, hdr.Xmax)
+	}
+}
+
+func (s *Session) execUpdate(st *sqlparser.UpdateStmt, params []sqltypes.Value, h *monitor.Handle) (*Result, error) {
+	db := s.db
 	th := db.handle(st.Table)
 	if th == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
 	}
-	defer db.attachWalTxn(th, wtx)()
 	schema := th.meta.Schema
+	self := s.ensureTxnID()
 
 	// Bind SET expressions against the table row.
 	res := &expr.SimpleResolver{}
@@ -157,53 +300,91 @@ func (db *DB) execUpdate(st *sqlparser.UpdateStmt, params []sqltypes.Value, wtx 
 		sets = append(sets, setC{idx: idx, c: ce})
 	}
 
-	tids, rows, err := db.matchRows(th, st.Where, params)
+	tids, rows, err := s.matchVisible(th, st.Where, params)
 	if err != nil {
 		return nil, err
 	}
-	env := expr.Env{Params: params}
-	for i, tid := range tids {
-		old := rows[i]
-		updated := old.Clone()
-		env.Row = old
-		for _, sc := range sets {
-			v, err := sc.c.Eval(&env)
-			if err != nil {
-				return nil, err
-			}
-			updated[sc.idx] = v
-		}
-		coerced, err := coerceRow(schema, updated)
-		if err != nil {
-			return nil, err
-		}
-		// Update = delete + insert so index entries always track TIDs.
-		if err := db.deleteRow(th, tid, old); err != nil {
-			return nil, err
-		}
-		if _, err := db.insertRow(th, coerced); err != nil {
-			return nil, err
-		}
+	if err := s.lockMatched(th, tids, h); err != nil {
+		return nil, err
 	}
-	db.syncMeta(th)
-	return &Result{RowsAffected: int64(len(tids))}, nil
+	var affected int64
+	env := expr.Env{Params: params}
+	err = s.withWriteGate(th, h, func() error {
+		for i, tid := range tids {
+			writable, err := db.recheckWritable(th, tid, self)
+			if err != nil {
+				return err
+			}
+			if !writable {
+				continue
+			}
+			old := rows[i]
+			updated := old.Clone()
+			env.Row = old
+			for _, sc := range sets {
+				v, err := sc.c.Eval(&env)
+				if err != nil {
+					return err
+				}
+				updated[sc.idx] = v
+			}
+			coerced, err := coerceRow(schema, updated)
+			if err != nil {
+				return err
+			}
+			if err := th.heap.SetXmax(tid, self); err != nil {
+				return err
+			}
+			if _, err := db.insertVersion(th, coerced, storage.VersionHeader{Xmin: self, Prev: tid}, self); err != nil {
+				return err
+			}
+			affected++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.addDelta(th.meta.Name, 0) // net row count unchanged; keep the table in the delta map
+	return &Result{RowsAffected: affected}, nil
 }
 
-func (db *DB) execDelete(st *sqlparser.DeleteStmt, params []sqltypes.Value, wtx *storage.WalTxn, h *monitor.Handle) (*Result, error) {
+func (s *Session) execDelete(st *sqlparser.DeleteStmt, params []sqltypes.Value, h *monitor.Handle) (*Result, error) {
+	db := s.db
 	th := db.handle(st.Table)
 	if th == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", st.Table)
 	}
-	defer db.attachWalTxn(th, wtx)()
-	tids, rows, err := db.matchRows(th, st.Where, params)
+	self := s.ensureTxnID()
+	tids, _, err := s.matchVisible(th, st.Where, params)
 	if err != nil {
 		return nil, err
 	}
-	for i, tid := range tids {
-		if err := db.deleteRow(th, tid, rows[i]); err != nil {
-			return nil, err
-		}
+	if err := s.lockMatched(th, tids, h); err != nil {
+		return nil, err
 	}
-	db.syncMeta(th)
-	return &Result{RowsAffected: int64(len(tids))}, nil
+	var affected int64
+	err = s.withWriteGate(th, h, func() error {
+		for _, tid := range tids {
+			writable, err := db.recheckWritable(th, tid, self)
+			if err != nil {
+				return err
+			}
+			if !writable {
+				continue
+			}
+			// Deletes only stamp the deleter: the version (and its index
+			// entries) stays for older snapshots until vacuum.
+			if err := th.heap.SetXmax(tid, self); err != nil {
+				return err
+			}
+			affected++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.addDelta(th.meta.Name, -affected)
+	return &Result{RowsAffected: affected}, nil
 }

@@ -51,7 +51,15 @@ type DB struct {
 	locks *lock.Manager
 	mon   *monitor.Monitor
 	wal   *storage.WAL
+	txns  *txnManager   // MVCC transaction ids, snapshots, outcomes
 	redo  recoveryStats // what crash recovery did at Open
+
+	// Vacuum telemetry (the MVCC garbage-collection counters behind
+	// engine_mvcc_* and ws_mvcc).
+	vacRuns      atomic.Int64
+	vacReclaimed atomic.Int64 // dead version slots reclaimed
+	vacCleared   atomic.Int64 // aborted xmax stamps cleared
+	vacChainP95  atomic.Int64 // last pass's p95 version-chain length
 
 	mu      sync.RWMutex // guards tables and virtual maps
 	tables  map[string]*tableHandle
@@ -105,6 +113,36 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Seed the MVCC transaction manager: ids that finished a statement
+	// (or were in flight at the last checkpoint) without an MVCC commit
+	// record are aborted — their versions stay on disk, invisible.
+	txns := newTxnManager()
+	ts := cat.TxnStatus()
+	crashAborted := map[uint64]bool{}
+	for id := range redo.OwnersSeen {
+		crashAborted[id] = true
+	}
+	for _, id := range ts.Inflight {
+		crashAborted[id] = true
+	}
+	for id := range redo.OwnersCommitted {
+		delete(crashAborted, id)
+	}
+	txns.restore(ts, crashAborted, redo.MaxOwner)
+	if len(ts.Inflight) > 0 || len(crashAborted) > 0 {
+		// Persist the resolved outcomes before the log (and with it the
+		// commit records that proved them) is reset: a crash in between
+		// must not re-derive a different answer.
+		cat.SetTxnStatus(txns.status())
+		if err := cat.Save(); err != nil {
+			return nil, err
+		}
+	}
+	if redo.ResetLSN > 0 {
+		if err := storage.ResetWAL(filepath.Join(cfg.Dir, storage.WALFileName), redo.ResetLSN); err != nil {
+			return nil, err
+		}
+	}
 	wal, err := storage.OpenWAL(filepath.Join(cfg.Dir, storage.WALFileName), storage.WALOptions{
 		GroupCommitInterval: cfg.GroupCommitInterval,
 		OpenFile:            cfg.WALOpen,
@@ -119,6 +157,7 @@ func Open(cfg Config) (*DB, error) {
 		locks:   lock.NewManager(),
 		mon:     cfg.Monitor,
 		wal:     wal,
+		txns:    txns,
 		redo:    redo,
 		tables:  map[string]*tableHandle{},
 		virtual: map[string]*virtualTable{},
@@ -137,8 +176,9 @@ func Open(cfg Config) (*DB, error) {
 			return nil, err
 		}
 	}
-	if redo.Redo > 0 || redo.Undo > 0 {
-		// Recovery moved data under the catalog's row counts.
+	if redo.Redo > 0 || redo.Undo > 0 || len(crashAborted) > 0 {
+		// Recovery moved data under the catalog's row counts, or the
+		// crash aborted transactions whose versions must stop counting.
 		if err := db.recountAfterRecovery(); err != nil {
 			db.Close()
 			return nil, err
@@ -363,10 +403,11 @@ func (db *DB) SizeBytes() int64 {
 }
 
 // syncMeta copies runtime counters into the catalog entry (main pages
-// and row counts drift during DML).
+// and row counts drift during DML). It goes through the catalog's lock
+// because commit paths run it concurrently with checkpoint's
+// Catalog.Save marshaling the same entry.
 func (db *DB) syncMeta(h *tableHandle) {
-	h.meta.Rows = h.heap.Rows()
-	h.meta.MainPages = h.heap.MainPages()
+	db.cat.SyncTableStats(h.meta.Name, h.heap.Rows(), h.heap.MainPages())
 }
 
 // Checkpoint runs a fuzzy checkpoint: a begin-checkpoint record fixes
@@ -397,6 +438,12 @@ func (db *DB) Checkpoint() error {
 				return err
 			}
 		}
+	}
+	if db.txns != nil {
+		// The checkpoint's catalog image carries the transaction status
+		// (next id, aborted set, in-flight ids) so recovery can rebuild
+		// outcomes even after the log is compacted away.
+		db.cat.SetTxnStatus(db.txns.status())
 	}
 	if err := db.cat.Save(); err != nil {
 		return err
@@ -513,10 +560,22 @@ func (db *DB) Stats() SystemStats {
 
 // executorStorage adapts the DB to the executor's Storage interface.
 // prof, set only for phase-2 flagged statements, threads wait
-// attribution into the iterators the read paths hand out.
+// attribution into the iterators the read paths hand out. snap is the
+// executing statement's visibility snapshot; every row and batch
+// iterator filters through it.
 type executorStorage struct {
 	db   *DB
 	prof *storage.WaitProf
+	snap *snapshot
+}
+
+// snapshot returns the statement's snapshot, falling back to current
+// committed reality for internal callers that scan outside a session.
+func (s executorStorage) snapshot() *snapshot {
+	if s.snap != nil {
+		return s.snap
+	}
+	return s.db.txns.realitySnapshot()
 }
 
 var _ executor.Storage = executorStorage{}
@@ -525,6 +584,44 @@ var _ executor.Storage = executorStorage{}
 // executions, keeping the phase-2 path allocation-free at steady
 // state.
 var profPool = sync.Pool{New: func() any { return new(storage.WaitProf) }}
+
+// MvccStats is the engine's MVCC and vacuum statistics sample, exported
+// through ima_mvcc, ws_mvcc and the engine_mvcc_* metrics.
+type MvccStats struct {
+	TxnBegins           int64
+	TxnCommits          int64
+	TxnAborts           int64
+	WriteConflicts      int64 // first-updater-wins aborts
+	InflightTxns        int64
+	ActiveSnapshots     int64
+	AbortedIDs          int64 // aborted ids awaiting vacuum retirement
+	OldestSnapshotNanos int64 // age of the oldest active snapshot
+	VacuumRuns          int64
+	VacuumReclaimed     int64 // dead version slots reclaimed
+	VacuumCleared       int64 // aborted xmax stamps cleared
+	RetiredIDs          int64 // aborted ids vacuum proved unreferenced
+	ChainLenP95         int64 // p95 version-chain length at the last vacuum
+}
+
+// MvccStats samples the MVCC counters.
+func (db *DB) MvccStats() MvccStats {
+	inflight, snaps, abortedIDs := db.txns.counts()
+	return MvccStats{
+		TxnBegins:           db.txns.begins.Load(),
+		TxnCommits:          db.txns.commits.Load(),
+		TxnAborts:           db.txns.aborts.Load(),
+		WriteConflicts:      db.txns.conflicts.Load(),
+		InflightTxns:        int64(inflight),
+		ActiveSnapshots:     int64(snaps),
+		AbortedIDs:          int64(abortedIDs),
+		OldestSnapshotNanos: int64(db.txns.oldestSnapshotAge(time.Now())),
+		VacuumRuns:          db.vacRuns.Load(),
+		VacuumReclaimed:     db.vacReclaimed.Load(),
+		VacuumCleared:       db.vacCleared.Load(),
+		RetiredIDs:          db.txns.retired.Load(),
+		ChainLenP95:         db.vacChainP95.Load(),
+	}
+}
 
 // TableState is the physical state of one table, as the IMA tables
 // report it.

@@ -31,6 +31,18 @@ import (
 // The ack file is the drill's ground truth: an O_APPEND line written
 // only after Commit acked durability, exactly like a client that got
 // its commit acknowledgment.
+//
+// Since the heaps became versioned, every transaction also churns the
+// kv table — updating its own counter row (a version chain crossing
+// the crash) and inserting then deleting a scratch row (a self-deleted
+// version) — and the parent additionally checks:
+//
+//  3. version visibility — recovery leaves exactly the committed
+//     version of each counter row visible, counters never regress
+//     below the acked count, and no scratch row ever surfaces;
+//  4. row accounting — the heap's persisted Rows() count matches a
+//     full visible rescan after every recovery (the count is redone
+//     MVCC-aware by recountAfterRecovery).
 
 const (
 	killDrillDirEnv  = "RECOVERY_KILL_DRILL_DIR"
@@ -77,6 +89,19 @@ func TestRecoveryChildMain(t *testing.T) {
 						os.Exit(4)
 					}
 				}
+				// Version churn: bump this writer's own counter row
+				// (writers touch disjoint rows, so no write conflicts)
+				// and cycle a scratch row inside the transaction.
+				for _, q := range []string{
+					fmt.Sprintf("UPDATE kv SET n = n + 1 WHERE id = %d", g),
+					fmt.Sprintf("INSERT INTO kv VALUES (%d, %d)", g+100, seq),
+					fmt.Sprintf("DELETE FROM kv WHERE id = %d", g+100),
+				} {
+					if _, err := s.Exec(q); err != nil {
+						fmt.Printf("CHILD_ERR churn: %v\n", err)
+						os.Exit(4)
+					}
+				}
 				if err := s.Commit(); err != nil {
 					fmt.Printf("CHILD_ERR commit: %v\n", err)
 					os.Exit(4)
@@ -108,6 +133,14 @@ func TestRecoveryKillDrill(t *testing.T) {
 	s := db.NewSession()
 	if _, err := s.Exec("CREATE TABLE kd (id INTEGER PRIMARY KEY)"); err != nil {
 		t.Fatal(err)
+	}
+	if _, err := s.Exec("CREATE TABLE kv (id INTEGER PRIMARY KEY, n INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < killDrillWriters; g++ {
+		if _, err := s.Exec(fmt.Sprintf("INSERT INTO kv VALUES (%d, 0)", g)); err != nil {
+			t.Fatal(err)
+		}
 	}
 	s.Close()
 	if err := db.Close(); err != nil {
@@ -188,6 +221,45 @@ func TestRecoveryKillDrill(t *testing.T) {
 		}
 		rdb := openDir(t, dir, 64)
 		ids := tableIDs(t, rdb, "kd")
+
+		// Version visibility: exactly the committed counter versions are
+		// visible — one row per writer, never a scratch row — and no
+		// counter regressed below its acked commit count.
+		ackedPerWriter := map[int64]int64{}
+		for seq := range acked {
+			ackedPerWriter[(seq/1_000_000)%100]++
+		}
+		rs := rdb.NewSession()
+		res, err := rs.Exec("SELECT id, n FROM kv ORDER BY id")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != killDrillWriters {
+			t.Fatalf("kill %d: kv has %d visible rows, want %d counters (scratch or torn versions leaked)",
+				k, len(res.Rows), killDrillWriters)
+		}
+		for _, row := range res.Rows {
+			g, n := row[0].I, row[1].I
+			if g < 0 || g >= killDrillWriters {
+				t.Fatalf("kill %d: unexpected kv row id=%d", k, g)
+			}
+			if n < ackedPerWriter[g] {
+				t.Fatalf("kill %d: writer %d counter = %d, below its %d acked commits",
+					k, g, n, ackedPerWriter[g])
+			}
+		}
+		// Row accounting: the heap's persisted count must match a full
+		// visible rescan after recovery (recountAfterRecovery is
+		// MVCC-aware; dead versions on disk must not inflate it).
+		for tbl, visible := range map[string]int64{
+			"kd": int64(len(ids)),
+			"kv": int64(len(res.Rows)),
+		} {
+			if got := rdb.TableState(tbl).Rows; got != visible {
+				t.Fatalf("kill %d: %s heap Rows() = %d, visible rows = %d", k, tbl, got, visible)
+			}
+		}
+		rs.Close()
 		if err := rdb.Close(); err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkPointSelectUnderUpdates measures point-select throughput
+// from k concurrent reader sessions while one writer session runs
+// continuous single-row UPDATEs against the same table — the
+// read-under-write scenario the MVCC refactor exists for. The reported
+// metric is selects/sec across all readers; b.N counts selects.
+func benchPointSelectUnderUpdates(b *testing.B, readers int) {
+	db := benchDBForUpdates(b)
+	defer db.Close()
+
+	stop := make(chan struct{})
+	var writerDone sync.WaitGroup
+	writerDone.Add(1)
+	go func() {
+		defer writerDone.Done()
+		w := db.NewSession()
+		defer w.Close()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := i % benchRows
+			if _, err := w.Exec(fmt.Sprintf("UPDATE bench_kv SET v = v + 1 WHERE id = %d", id)); err != nil {
+				b.Errorf("writer: %v", err)
+				return
+			}
+			i++
+		}
+	}()
+
+	b.ResetTimer()
+	var next atomic.Int64
+	var rg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		rg.Add(1)
+		go func(seed int) {
+			defer rg.Done()
+			s := db.NewSession()
+			defer s.Close()
+			for {
+				n := next.Add(1)
+				if n > int64(b.N) {
+					return
+				}
+				id := (seed + int(n)) % benchRows
+				res, err := s.Exec(fmt.Sprintf("SELECT v FROM bench_kv WHERE id = %d", id))
+				if err != nil {
+					b.Errorf("reader: %v", err)
+					return
+				}
+				if len(res.Rows) != 1 {
+					b.Errorf("point select returned %d rows", len(res.Rows))
+					return
+				}
+			}
+		}(r * 17)
+	}
+	rg.Wait()
+	b.StopTimer()
+	close(stop)
+	writerDone.Wait()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "selects/sec")
+}
+
+const benchRows = 256
+
+func benchDBForUpdates(b *testing.B) *DB {
+	db, err := Open(Config{Dir: b.TempDir(), PoolPages: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := db.NewSession()
+	defer s.Close()
+	if _, err := s.Exec("CREATE TABLE bench_kv (id INTEGER PRIMARY KEY, v INTEGER)"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < benchRows; i += 64 {
+		var sb []byte
+		sb = append(sb, "INSERT INTO bench_kv VALUES "...)
+		for j := 0; j < 64; j++ {
+			if j > 0 {
+				sb = append(sb, ',')
+			}
+			sb = fmt.Appendf(sb, "(%d, 0)", i+j)
+		}
+		if _, err := s.Exec(string(sb)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return db
+}
+
+func BenchmarkPointSelectUnderUpdates1(b *testing.B)  { benchPointSelectUnderUpdates(b, 1) }
+func BenchmarkPointSelectUnderUpdates8(b *testing.B)  { benchPointSelectUnderUpdates(b, 8) }
+func BenchmarkPointSelectUnderUpdates16(b *testing.B) { benchPointSelectUnderUpdates(b, 16) }

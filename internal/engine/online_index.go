@@ -28,8 +28,8 @@ type sideLogEntry struct {
 }
 
 // indexSideLog accumulates the index maintenance an in-progress online
-// build owes for DML that ran while it scanned. insertRow/deleteRow
-// append through the tableHandle's atomic pointer; the builder drains
+// build owes for DML that ran while it scanned. insertVersion and
+// dropVersionIndexEntries append through the handle's atomic pointer; the builder drains
 // between backfill chunks and a final time under the DDL gate. If
 // computing a key fails the error is parked for the builder — the DML
 // statement itself never fails because of a background build.
@@ -82,9 +82,10 @@ func replaySideLog(bt *storage.BTree, entries []sideLogEntry) error {
 	return nil
 }
 
-// logToSideLog is the insertRow/deleteRow hook: if an online build is
-// in progress on this table, record the index mutation it cannot see.
-// The caller holds the table's X lock.
+// logToSideLog is the insertVersion/dropVersionIndexEntries hook: if
+// an online build is in progress on this table, record the index
+// mutation it cannot see. The caller holds the table's statement write
+// gate (or its X lock on DDL paths).
 func logToSideLog(h *tableHandle, del bool, tid storage.TID, row sqltypes.Row) {
 	sl := h.sideLog.Load()
 	if sl == nil {
@@ -187,7 +188,10 @@ func (db *DB) execCreateIndexOnline(st *sqlparser.CreateIndexStmt) (_ *Result, e
 			return nil, err
 		}
 		page, slot, done, err = h.heap.ScanChunk(page, slot, onlineBuildChunk, func(tid storage.TID, rec []byte) error {
-			row, derr := sqltypes.DecodeRow(rec)
+			if len(rec) < storage.VersionHeaderSize {
+				return fmt.Errorf("engine: unversioned record %v in %s", tid, h.meta.Name)
+			}
+			row, derr := sqltypes.DecodeRow(storage.VersionPayload(rec))
 			if derr != nil {
 				return derr
 			}
@@ -226,7 +230,7 @@ func (db *DB) execCreateIndexOnline(st *sqlparser.CreateIndexStmt) (_ *Result, e
 		return nil, serr
 	}
 	if st.Unique {
-		if err = verifyUnique(bt, st.Name); err != nil {
+		if err = db.verifyUniqueLive(h, bt, st.Name); err != nil {
 			return nil, err
 		}
 	}
@@ -252,23 +256,76 @@ func (db *DB) execCreateIndexOnline(st *sqlparser.CreateIndexStmt) (_ *Result, e
 	return &Result{RowsAffected: h.heap.Rows()}, nil
 }
 
-// verifyUnique walks the finished index once and reports the first
-// pair of adjacent entries whose keys differ only in the TID suffix —
-// a duplicate under the unique constraint. The suffix is EncodeKey of
-// an Int, which is a fixed tidSuffixLen bytes.
-func verifyUnique(bt *storage.BTree, name string) error {
+// verifyUniqueLive walks a freshly built index once and checks the
+// unique constraint against version state. Entries with the same key
+// modulo the TID suffix are one candidate group; within a group each
+// version is classified as dead (aborted creator, or committed
+// deleter), live (committed creator, no surviving deleter), or pending
+// (in-flight creator or in-flight deleter). Two live versions are a
+// duplicate. A potential duplicate that hinges on a pending
+// transaction cannot be resolved without waiting for it — the build
+// fails with a retryable error instead of blocking under the DDL gate.
+// Offline builds run under the table's X lock, which excludes the IX
+// locks write transactions hold until commit, so they never see
+// pending versions.
+func (db *DB) verifyUniqueLive(h *tableHandle, bt *storage.BTree, name string) error {
+	var (
+		prev          []byte
+		live, pending int
+	)
+	check := func() error {
+		if live >= 2 {
+			return fmt.Errorf("engine: duplicate key while building unique index %s", name)
+		}
+		if pending > 0 && live+pending >= 2 {
+			return fmt.Errorf("engine: unique index %s build raced a concurrent transaction, retry", name)
+		}
+		return nil
+	}
 	it := bt.Seek(nil)
-	var prev []byte
 	for it.Next() {
 		k := it.Key()
 		if len(k) < tidSuffixLen {
 			return fmt.Errorf("engine: corrupt key in index %s", name)
 		}
 		stripped := k[:len(k)-tidSuffixLen]
-		if prev != nil && string(prev) == string(stripped) {
-			return fmt.Errorf("engine: duplicate key while building unique index %s", name)
+		if prev == nil || string(prev) != string(stripped) {
+			if err := check(); err != nil {
+				return err
+			}
+			live, pending = 0, 0
+			prev = append(prev[:0], stripped...)
 		}
-		prev = append(prev[:0], stripped...)
+		rec, ok, gerr := h.heap.Get(tidFromBytes(it.Value()))
+		if gerr != nil {
+			return gerr
+		}
+		if !ok || len(rec) < storage.VersionHeaderSize {
+			continue // dangling entry: version already reclaimed
+		}
+		vh := storage.ReadVersionHeader(rec)
+		switch db.txns.stateOf(vh.Xmin) {
+		case txnAborted:
+			continue
+		case txnInflight:
+			pending++
+			continue
+		}
+		if vh.Xmax == 0 {
+			live++
+			continue
+		}
+		switch db.txns.stateOf(vh.Xmax) {
+		case txnInflight:
+			pending++
+		case txnAborted:
+			live++
+		default:
+			// Committed delete: dead version.
+		}
 	}
-	return it.Err()
+	if err := it.Err(); err != nil {
+		return err
+	}
+	return check()
 }

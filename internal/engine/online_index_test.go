@@ -16,14 +16,15 @@ import (
 )
 
 // expectedIndexEntries rebuilds from scratch what the secondary index
-// should contain: one tid-suffixed key per live heap row. Callers must
-// have quiesced DML first.
+// should contain: one tid-suffixed key per heap version (deleted
+// versions keep their entries until vacuum reclaims both). Callers
+// must have quiesced DML first.
 func expectedIndexEntries(t *testing.T, db *DB, table string, cols []string) map[string]string {
 	t.Helper()
 	h := db.handle(table)
 	want := map[string]string{}
 	err := h.heap.Scan(func(tid storage.TID, rec []byte) (bool, error) {
-		row, err := sqltypes.DecodeRow(rec)
+		row, err := sqltypes.DecodeRow(storage.VersionPayload(rec))
 		if err != nil {
 			return false, err
 		}

@@ -20,15 +20,30 @@ import (
 // pages onto disk. The log's CRC + LSN-sequence validation stops the
 // scan cleanly at a torn tail, so a crash mid-append never blocks Open.
 
-// recoveryStats summarizes one recovery pass for the telemetry plane.
+// recoveryStats summarizes one recovery pass for the telemetry plane
+// and carries the MVCC transaction outcomes recovery derived from the
+// log, so Open can seed the transaction manager.
 type recoveryStats struct {
 	Redo  int64 // after-images reapplied
 	Undo  int64 // before-images restored
 	Nanos int64 // wallclock nanoseconds spent recovering
+	// OwnersSeen holds every MVCC transaction id that finished at least
+	// one statement in the log; OwnersCommitted the subset whose
+	// WALTxnCommit record (the MVCC commit point) made it. Seen but not
+	// committed means the crash aborted the transaction.
+	OwnersSeen      map[uint64]bool
+	OwnersCommitted map[uint64]bool
+	MaxOwner        uint64
+	// ResetLSN, when non-zero, is the LSN the caller must reset the log
+	// to after persisting the derived transaction status — resetting
+	// inside recovery would open a crash window in which the commit
+	// records are gone but the catalog still lists the owners in flight.
+	ResetLSN uint64
 }
 
-// recoverWAL replays the log in dir against the page files and resets
-// the log. A missing log means a pre-WAL or fresh database: no-op.
+// recoverWAL replays the log in dir against the page files. A missing
+// log means a pre-WAL or fresh database: no-op. The caller resets the
+// log at st.ResetLSN once the derived transaction status is persisted.
 func recoverWAL(dir string) (recoveryStats, error) {
 	var st recoveryStats
 	path := filepath.Join(dir, storage.WALFileName)
@@ -58,9 +73,23 @@ func recoverWAL(dir string) (recoveryStats, error) {
 	// transaction's effects, so recovery must as well.) Everything else
 	// was in flight at the crash and gets undone.
 	committed := make(map[uint64]bool)
+	st.OwnersSeen = map[uint64]bool{}
+	st.OwnersCommitted = map[uint64]bool{}
 	for _, r := range recs {
-		if r.Type == storage.WALCommit {
+		switch r.Type {
+		case storage.WALCommit:
 			committed[r.Txn] = true
+			if r.Owner != 0 {
+				st.OwnersSeen[r.Owner] = true
+				if r.Owner > st.MaxOwner {
+					st.MaxOwner = r.Owner
+				}
+			}
+		case storage.WALTxnCommit:
+			st.OwnersCommitted[r.Owner] = true
+			if r.Owner > st.MaxOwner {
+				st.MaxOwner = r.Owner
+			}
 		}
 	}
 
@@ -159,19 +188,22 @@ func recoverWAL(dir string) (recoveryStats, error) {
 			return st, fmt.Errorf("engine: recovery: fsync %s: %w", name, err)
 		}
 	}
-	// The replayed log is spent: restart it just past the last LSN so
-	// new records never collide with recovered page trailers.
-	last := recs[len(recs)-1].LSN
-	if err := storage.ResetWAL(path, last+1); err != nil {
-		return st, err
-	}
+	// The replayed log is spent: Open restarts it just past the last LSN
+	// (after persisting transaction outcomes) so new records never
+	// collide with recovered page trailers.
+	st.ResetLSN = recs[len(recs)-1].LSN + 1
 	st.Nanos = time.Since(start).Nanoseconds()
 	return st, nil
 }
 
 // recountAfterRecovery resynchronizes per-table row counts after a
-// recovery pass touched data pages behind the catalog's back.
+// recovery pass touched data pages behind the catalog's back. The count
+// is MVCC-aware: only versions visible to a fresh snapshot — creator
+// committed, no committed deleter — are rows; versions of transactions
+// the crash aborted stay on disk but are not counted (vacuum reclaims
+// them).
 func (db *DB) recountAfterRecovery() error {
+	sn := db.txns.realitySnapshot()
 	db.mu.RLock()
 	handles := make([]*tableHandle, 0, len(db.tables))
 	for _, h := range db.tables {
@@ -180,8 +212,13 @@ func (db *DB) recountAfterRecovery() error {
 	db.mu.RUnlock()
 	for _, h := range handles {
 		var rows int64
-		err := h.heap.Scan(func(storage.TID, []byte) (bool, error) {
-			rows++
+		err := h.heap.Scan(func(_ storage.TID, rec []byte) (bool, error) {
+			if len(rec) < storage.VersionHeaderSize {
+				return false, fmt.Errorf("engine: recovery: unversioned record in %s", h.meta.Name)
+			}
+			if sn.visible(storage.ReadVersionHeader(rec)) {
+				rows++
+			}
 			return true, nil
 		})
 		if err != nil {

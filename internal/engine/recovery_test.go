@@ -178,15 +178,17 @@ func TestRecoveryTruncationProperty(t *testing.T) {
 				t.Fatal(err)
 			}
 			// The prefix itself defines the expectation: the first k
-			// finish records cover the first k finished transactions
-			// (one sequential committer).
+			// transaction-commit records cover the first k finished
+			// transactions (one sequential committer). Per-statement
+			// WALCommit units don't count — a transaction's rows exist
+			// only once its WALTxnCommit made it into the prefix.
 			recs, _, _, err := storage.ReadWALRecords(wp)
 			if err != nil {
 				t.Fatal(err)
 			}
 			commits := 0
 			for _, r := range recs {
-				if r.Type == storage.WALCommit {
+				if r.Type == storage.WALTxnCommit {
 					commits++
 				}
 			}

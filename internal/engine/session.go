@@ -2,6 +2,7 @@ package engine
 
 import (
 	"container/list"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,26 +20,47 @@ import (
 )
 
 const (
-	lockS = lock.Shared
-	lockX = lock.Exclusive
+	lockS  = lock.Shared
+	lockIX = lock.Intent
+	lockX  = lock.Exclusive
 )
+
+// ErrWriteConflict is returned (wrapped) when first-updater-wins
+// conflict detection aborts a transaction: another transaction
+// committed a newer version of a row this one tried to write.
+var ErrWriteConflict = errors.New("engine: write conflict, transaction aborted")
 
 // Session is one client connection. Sessions are not safe for
 // concurrent use; open one per goroutine.
 //
-// By default every statement releases its locks when it completes. A
-// Begin/Commit pair switches to transaction-scoped locking: locks
-// accumulate until Commit or Rollback, which makes multi-table write
-// transactions — and therefore lock waits and deadlocks — possible,
-// as the paper's Figure 8 locking statistics show.
+// Statements run under snapshot isolation: each statement (or each
+// Begin..Commit transaction) captures an MVCC snapshot and sees exactly
+// the versions committed when it was taken. Readers take only a shared
+// table lock (DDL exclusion) — never row locks — and never block on
+// writers. Writers take an intention lock on the table plus exclusive
+// row locks on the versions they supersede, held until Commit or
+// Rollback; write-write conflicts abort with ErrWriteConflict
+// (first-updater-wins) and lock cycles with lock.ErrDeadlock.
 type Session struct {
 	db     *DB
 	id     int64
 	closed bool
 	inTxn  bool
-	// wtx is the WAL transaction covering the session's current write
-	// scope: one statement in autocommit, Begin..Commit otherwise. It
-	// holds the WAL's DDL gate (read side) for its lifetime.
+	// txnID is the MVCC transaction id, allocated lazily at the first
+	// write of the transaction (0 = read-only so far).
+	txnID uint64
+	// snap is the current visibility snapshot: statement-scoped in
+	// autocommit, transaction-scoped inside Begin..Commit.
+	snap *snapshot
+	// deltas accumulates the transaction's net row-count change per
+	// table; applied to the heap counters only at commit, so aborted
+	// inserts never show up in Rows().
+	deltas map[string]int64
+	// wtx is the WAL unit of the statement currently executing. It is
+	// per-statement even inside a transaction: the WAL's physical
+	// page-image undo cannot tolerate interleaved concurrent
+	// transactions, so transaction atomicity comes from the MVCC commit
+	// record (WALTxnCommit), not from WAL scoping.
 	wtx *storage.WalTxn
 	// batchExec selects the vectorized batch pipeline for SELECTs
 	// (default). The row-at-a-time path is kept for comparison and as
@@ -55,43 +77,119 @@ type Session struct {
 // execution pipeline (the default) and the row-at-a-time pipeline.
 func (s *Session) SetBatchExec(on bool) { s.batchExec = on }
 
-// Begin starts a transaction: locks are held until Commit or Rollback.
-func (s *Session) Begin() { s.inTxn = true }
+// Begin starts a transaction: one snapshot covers all its statements
+// and locks are held until Commit or Rollback. Nested BEGIN is an
+// error — the already-open transaction is left untouched.
+func (s *Session) Begin() error {
+	if s.inTxn {
+		return fmt.Errorf("engine: BEGIN inside an open transaction")
+	}
+	s.inTxn = true
+	return nil
+}
 
-// Commit ends the transaction, waits for its WAL records to be durable
-// (parking on the group-commit flusher) and releases its locks. The
-// returned error is a durability failure: the changes may not survive
-// a crash. The WAL finish happens strictly before the lock release, so
-// a later transaction's log records can never be durable while this
-// one still looks in-flight.
+// Commit ends the transaction: the MVCC commit record is appended and
+// made durable (parking on the group-commit flusher), the transaction
+// leaves the in-flight set — making its versions visible to new
+// snapshots — and its locks are released. A durability failure aborts
+// the transaction instead: its versions stay invisible.
 func (s *Session) Commit() error {
-	err := s.finishWalTxn(true)
+	err := s.finishWalTxn(false)
+	if cerr := s.endTxn(err == nil); cerr != nil && err == nil {
+		err = cerr
+	}
 	s.inTxn = false
-	s.db.locks.ReleaseAll(s.id)
 	return err
 }
 
-// Rollback ends the transaction and releases its locks. Data changes
-// are not undone — the engine provides lock isolation, not MVCC
-// rollback (the paper's experiments only need the locking system). The
-// WAL therefore records a rollback as a finished transaction too; only
-// transactions cut off by a crash are undone during recovery.
+// Rollback aborts the transaction: its id joins the aborted set, so
+// every version it wrote is invisible to all snapshots — no physical
+// undo happens; vacuum reclaims the versions later. Locks are released.
 func (s *Session) Rollback() {
 	s.finishWalTxn(false)
+	s.endTxn(false)
 	s.inTxn = false
-	s.db.locks.ReleaseAll(s.id)
 }
 
-// ensureWalTxn opens the session's WAL transaction if none is active.
+// endTxn finishes the session's MVCC scope: commit or abort the open
+// transaction id, apply (or drop) its row-count deltas, release its
+// snapshot and all its locks. Safe to call with no transaction open —
+// it then just releases snapshot and locks (read-only statement end).
+func (s *Session) endTxn(commit bool) error {
+	db := s.db
+	var err error
+	if s.txnID != 0 {
+		if commit {
+			// The commit record must be durable before the transaction
+			// leaves the in-flight set: once visible, its effects must
+			// survive a crash.
+			err = db.wal.CommitTxn(s.txnID, true)
+		}
+		if commit && err == nil {
+			db.txns.commit(s.txnID)
+			for t, d := range s.deltas {
+				if h := db.handle(t); h != nil && d != 0 {
+					h.heap.AdjustRows(d)
+					db.syncMeta(h)
+				}
+			}
+		} else {
+			db.txns.abort(s.txnID)
+		}
+		s.txnID = 0
+	}
+	s.deltas = nil
+	if s.snap != nil {
+		db.txns.release(s.snap)
+		s.snap = nil
+	}
+	db.locks.ReleaseAll(s.id)
+	return err
+}
+
+// ensureSnapshot captures the session's visibility snapshot if none is
+// active (first statement of a transaction, or any autocommit
+// statement). Called after the statement's table locks are granted.
+func (s *Session) ensureSnapshot() *snapshot {
+	if s.snap == nil {
+		s.snap = s.db.txns.capture(s.txnID)
+	}
+	return s.snap
+}
+
+// ensureTxnID allocates the MVCC transaction id at the first write.
+func (s *Session) ensureTxnID() uint64 {
+	if s.txnID == 0 {
+		s.txnID = s.db.txns.begin()
+		if s.snap != nil {
+			s.snap.setSelf(s.txnID)
+		}
+		if s.wtx != nil {
+			s.wtx.SetOwner(s.txnID)
+		}
+	}
+	return s.txnID
+}
+
+// addDelta accumulates a table's net row-count change.
+func (s *Session) addDelta(table string, d int64) {
+	if s.deltas == nil {
+		s.deltas = map[string]int64{}
+	}
+	s.deltas[strings.ToLower(table)] += d
+}
+
+// ensureWalTxn opens the statement's WAL unit if none is active.
 // Called before the statement's table locks are taken: the WAL's DDL
 // gate is ordered strictly before table locks, everywhere.
 func (s *Session) ensureWalTxn() {
 	if s.wtx == nil {
 		s.wtx = s.db.wal.Begin()
+		s.wtx.SetOwner(s.txnID)
 	}
 }
 
-// finishWalTxn closes the session's WAL transaction, logging the
+// finishWalTxn closes the statement's WAL unit, logging the
 // after-images and finish record; wait additionally blocks until they
 // are durable. Must precede any lock release.
 func (s *Session) finishWalTxn(wait bool) error {
@@ -119,28 +217,28 @@ func (db *DB) NewSession() *Session {
 // and returns the materialized result rows.
 func (s *Session) runPrepared(prep *executor.Prepared, ctx *executor.Ctx) ([]sqltypes.Row, error) {
 	if s.batchExec {
-		it, err := prep.RunBatch(executorStorage{db: s.db, prof: s.prof}, ctx)
+		it, err := prep.RunBatch(executorStorage{db: s.db, prof: s.prof, snap: s.snap}, ctx)
 		if err != nil {
 			return nil, err
 		}
 		return executor.CollectBatches(it)
 	}
-	it, err := prep.Run(executorStorage{db: s.db, prof: s.prof}, ctx)
+	it, err := prep.Run(executorStorage{db: s.db, prof: s.prof, snap: s.snap}, ctx)
 	if err != nil {
 		return nil, err
 	}
 	return executor.Collect(it)
 }
 
-// Close releases the session. An open transaction is finished without
-// a durability wait: its effects stay in place (as with Rollback).
+// Close releases the session. An open transaction is aborted, as with
+// Rollback: its versions become invisible.
 func (s *Session) Close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
 	s.finishWalTxn(false)
-	s.db.locks.ReleaseAll(s.id)
+	s.endTxn(false)
 	s.db.currentSessions.Add(-1)
 }
 
@@ -220,39 +318,36 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	}
 
 	var ddlRelease func()
-	if isDDL {
-		// DDL implicitly commits the open transaction, then runs alone
-		// behind the WAL's exclusive gate: no logged transaction spans a
-		// file rebuild, so recovery can never replay a stale pre-rebuild
-		// image onto the new file. The gate is acquired before any table
-		// lock, matching the global gate-before-locks order.
-		if err := s.finishWalTxn(true); err != nil {
+	if isDDL || isOnlineDDL {
+		// DDL implicitly commits the open transaction, then (offline
+		// DDL) runs alone behind the WAL's exclusive gate: no logged
+		// statement spans a file rebuild, so recovery can never replay a
+		// stale pre-rebuild image onto the new file. The gate is
+		// acquired before any table lock, matching the global
+		// gate-before-locks order. An online build takes neither the
+		// gate nor upfront locks — the builder takes its own per chunk.
+		if err := s.finishWalTxn(false); err != nil {
+			h.Finish(0, 0, 0, err)
+			return nil, err
+		}
+		if err := s.endTxn(true); err != nil {
+			s.inTxn = false
 			h.Finish(0, 0, 0, err)
 			return nil, err
 		}
 		s.inTxn = false
-		db.locks.ReleaseAll(s.id)
-		ddlRelease = db.wal.BeginExclusive()
-		defer func() {
-			if ddlRelease != nil {
-				ddlRelease()
-			}
-		}()
-	} else if isOnlineDDL {
-		// Like DDL, an online build implicitly commits the session's
-		// open transaction and runs outside any WAL transaction — but
-		// it does NOT take the gate here: holding the session's own
-		// WalTxn while the builder later waits for the gate would
-		// deadlock, and holding the gate would stall every writer.
-		if err := s.finishWalTxn(true); err != nil {
-			h.Finish(0, 0, 0, err)
-			return nil, err
+		if isDDL {
+			ddlRelease = db.wal.BeginExclusive()
+			defer func() {
+				if ddlRelease != nil {
+					ddlRelease()
+				}
+			}()
 		}
-		s.inTxn = false
-		db.locks.ReleaseAll(s.id)
-	} else if isDML || s.inTxn {
-		// The WAL transaction (and with it the DDL gate's read side) is
-		// opened before the first table lock — same global order.
+	} else if isDML {
+		// The statement's WAL unit (and with it the DDL gate's read
+		// side) is opened before the first table lock — same global
+		// order. SELECTs need no WAL unit: MVCC reads never write.
 		s.ensureWalTxn()
 	}
 	if s.prof != nil && s.wtx != nil {
@@ -263,13 +358,16 @@ func (s *Session) Exec(sql string) (*Result, error) {
 		s.wtx.SetProf(s.prof)
 	}
 
-	// Lock acquisition, in sorted order to reduce deadlocks. Virtual
-	// tables are lock-free snapshots.
-	mode := lockX
-	switch stmt.(type) {
-	case *sqlparser.SelectStmt, *sqlparser.ExplainStmt:
-		// EXPLAIN only plans; EXPLAIN ANALYZE executes but reads only.
-		mode = lockS
+	// Table-lock acquisition, in sorted order to reduce deadlocks.
+	// Readers take Shared (DDL exclusion only — they never block on or
+	// behind writers), DML takes Intent, DDL takes Exclusive. Virtual
+	// tables are lock-free snapshots. Row-level write locks are taken
+	// inside the DML executors, per matched row.
+	mode := lockS
+	if isDML {
+		mode = lockIX
+	} else if isDDL {
+		mode = lockX
 	}
 	var locked []string
 	for _, t := range tables {
@@ -293,18 +391,22 @@ func (s *Session) Exec(sql string) (*Result, error) {
 			h.AddLockWait(time.Since(lockStart))
 		}
 		if err != nil {
-			// A deadlock victim aborts its whole transaction. The WAL
-			// finish lands before the lock release so no later
-			// transaction can commit over a still-open one.
+			// A deadlock victim aborts its whole transaction: versions
+			// it wrote become invisible. The WAL finish lands before
+			// the lock release so no later statement can commit over a
+			// still-open one.
 			s.finishWalTxn(false)
-			db.locks.ReleaseAll(s.id)
+			s.endTxn(false)
 			s.inTxn = false
 			h.Finish(0, 0, 0, err)
 			return nil, err
 		}
 	}
-	if !s.inTxn {
-		defer db.locks.ReleaseAll(s.id)
+	if !isDDL && !isOnlineDDL {
+		// The visibility snapshot: captured after the table locks so a
+		// schema change cannot slide under it. One snapshot per
+		// statement in autocommit; per transaction inside Begin..Commit.
+		s.ensureSnapshot()
 	}
 
 	if s.prof != nil {
@@ -337,11 +439,11 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	case *sqlparser.CreateStatisticsStmt:
 		res, err = db.execCreateStatistics(st)
 	case *sqlparser.InsertStmt:
-		res, err = db.execInsert(st, parsed.Params, s.wtx, &h)
+		res, err = s.execInsert(st, parsed.Params, &h)
 	case *sqlparser.UpdateStmt:
-		res, err = db.execUpdate(st, parsed.Params, s.wtx, &h)
+		res, err = s.execUpdate(st, parsed.Params, &h)
 	case *sqlparser.DeleteStmt:
-		res, err = db.execDelete(st, parsed.Params, s.wtx, &h)
+		res, err = s.execDelete(st, parsed.Params, &h)
 	default:
 		err = fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
@@ -353,11 +455,27 @@ func (s *Session) Exec(sql string) (*Result, error) {
 			execNs = 0
 		}
 	}
-	if !s.inTxn && !isDDL {
-		// Autocommit: finish the statement's WAL transaction — waiting
-		// for durability on success — before the deferred lock release.
-		if ferr := s.finishWalTxn(err == nil); ferr != nil && err == nil {
+	if !s.inTxn {
+		// Autocommit: close the statement's WAL unit, then commit (or
+		// abort) the statement's MVCC transaction. The commit record's
+		// durability wait covers the statement's log records; a pure
+		// read has no transaction id and just drops snapshot and locks.
+		if ferr := s.finishWalTxn(false); ferr != nil && err == nil {
 			err = ferr
+		}
+		if eerr := s.endTxn(err == nil); eerr != nil && err == nil {
+			err = eerr
+		}
+	} else {
+		if ferr := s.finishWalTxn(false); ferr != nil && err == nil {
+			err = ferr
+		}
+		if err != nil && isDML {
+			// A failed write statement aborts the whole transaction:
+			// with no statement-level undo, the abort is what keeps its
+			// partial effects invisible.
+			s.endTxn(false)
+			s.inTxn = false
 		}
 	}
 	if isDDL && err == nil {

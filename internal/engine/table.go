@@ -93,9 +93,10 @@ func storageKey(meta *catalog.Table) []string {
 // attachWalTxn points every file of the table at the WAL transaction
 // that is about to mutate it, so Page.WillModify captures before-images
 // for t. Returns the detach func; callers defer it for the statement's
-// duration. The caller holds the table's X lock, which is what makes
-// the plain curTxn field race-free. A nil t attaches nothing (unlogged
-// paths: DDL rebuilds behind the exclusive gate).
+// duration. The caller holds the table's statement write gate (or a
+// table X lock), which is what guarantees a single non-nil attachment
+// at a time. A nil t attaches nothing (unlogged paths: DDL rebuilds
+// behind the exclusive gate).
 func (db *DB) attachWalTxn(h *tableHandle, t *storage.WalTxn) func() {
 	if t == nil {
 		return func() {}
@@ -120,20 +121,11 @@ func (db *DB) attachWalTxn(h *tableHandle, t *storage.WalTxn) func() {
 	}
 }
 
-// insertRow inserts a coerced row into the table, maintaining the
-// primary structure and all secondary indexes. Uniqueness is enforced
-// by unique secondary indexes (the auto-created pk_<table> index), not
-// by the storage structure, which may cluster on non-unique keys. The
-// caller must hold the table's X lock.
-func (db *DB) insertRow(h *tableHandle, row sqltypes.Row) (storage.TID, error) {
-	var pkey []byte
-	if h.primary != nil {
-		var err error
-		pkey, err = keyFor(h.meta.Schema, row, storageKey(h.meta))
-		if err != nil {
-			return 0, err
-		}
-	}
+// checkUnique enforces unique secondary indexes against current
+// reality, not a snapshot: the caller holds the table's statement write
+// gate, so every candidate version's header is stable while it is
+// classified. self is the inserting transaction id.
+func (db *DB) checkUnique(h *tableHandle, row sqltypes.Row, self uint64) error {
 	for _, ix := range db.cat.TableIndexes(h.meta.Name, false) {
 		if !ix.Unique {
 			continue
@@ -144,14 +136,79 @@ func (db *DB) insertRow(h *tableHandle, row sqltypes.Row) (storage.TID, error) {
 		}
 		key, err := keyFor(h.meta.Schema, row, ix.Columns)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		if existsInRange(bt, key) {
-			return 0, fmt.Errorf("engine: duplicate key for unique index %s", ix.Name)
+		it := bt.Seek(key)
+		for it.Next() {
+			k := it.Key()
+			if len(k) < len(key) || string(k[:len(key)]) != string(key) {
+				break
+			}
+			tid := tidFromBytes(it.Value())
+			rec, ok, gerr := h.heap.Get(tid)
+			if gerr != nil {
+				return gerr
+			}
+			if !ok || len(rec) < storage.VersionHeaderSize {
+				continue // vacuumed: dangling entry awaiting cleanup
+			}
+			hdr := storage.ReadVersionHeader(rec)
+			if hdr.Xmin == self {
+				if hdr.Xmax == self {
+					continue // this transaction already superseded its own version
+				}
+				return fmt.Errorf("engine: duplicate key for unique index %s", ix.Name)
+			}
+			switch db.txns.stateOf(hdr.Xmin) {
+			case txnAborted:
+				continue // dead version awaiting vacuum
+			case txnInflight:
+				return db.conflictErr("unique key of index %s contested by in-flight transaction %d", ix.Name, hdr.Xmin)
+			}
+			// Creator committed; the deleter decides.
+			switch {
+			case hdr.Xmax == 0:
+				return fmt.Errorf("engine: duplicate key for unique index %s", ix.Name)
+			case hdr.Xmax == self:
+				continue // deleted by this transaction
+			default:
+				switch db.txns.stateOf(hdr.Xmax) {
+				case txnAborted:
+					return fmt.Errorf("engine: duplicate key for unique index %s", ix.Name)
+				case txnInflight:
+					return db.conflictErr("unique key of index %s pending delete by transaction %d", ix.Name, hdr.Xmax)
+				}
+				// Committed delete: the key is free.
+			}
+		}
+		if err := it.Err(); err != nil {
+			return err
 		}
 	}
+	return nil
+}
 
-	rec := sqltypes.EncodeRow(nil, row)
+// insertVersion inserts a new record version (the MVCC header vh plus
+// the encoded row), maintaining the primary structure and all secondary
+// indexes — every heap version gets index entries; visibility filtering
+// happens at scan time and vacuum removes entries with the versions.
+// The caller holds the table's statement write gate (or a table X
+// lock).
+func (db *DB) insertVersion(h *tableHandle, row sqltypes.Row, vh storage.VersionHeader, self uint64) (storage.TID, error) {
+	if err := db.checkUnique(h, row, self); err != nil {
+		return 0, err
+	}
+	var pkey []byte
+	if h.primary != nil {
+		var err error
+		pkey, err = keyFor(h.meta.Schema, row, storageKey(h.meta))
+		if err != nil {
+			return 0, err
+		}
+	}
+	rec := make([]byte, storage.VersionHeaderSize)
+	storage.PutVersionHeader(rec, vh)
+	rec = sqltypes.EncodeRow(rec, row)
 	tid, err := h.heap.Insert(rec)
 	if err != nil {
 		return 0, err
@@ -178,23 +235,9 @@ func (db *DB) insertRow(h *tableHandle, row sqltypes.Row) (storage.TID, error) {
 	return tid, nil
 }
 
-// existsInRange reports whether any entry starts with the given key
-// prefix.
-func existsInRange(bt *storage.BTree, prefix []byte) bool {
-	it := bt.Seek(prefix)
-	if !it.Next() {
-		return false
-	}
-	k := it.Key()
-	return len(k) >= len(prefix) && string(k[:len(prefix)]) == string(prefix)
-}
-
-// deleteRow removes the row at tid, maintaining indexes. The caller
-// must hold the table's X lock and pass the decoded row.
-func (db *DB) deleteRow(h *tableHandle, tid storage.TID, row sqltypes.Row) error {
-	if err := h.heap.Delete(tid); err != nil {
-		return err
-	}
+// dropVersionIndexEntries removes the index entries pointing at one
+// reclaimed version (vacuum's half of index maintenance).
+func (db *DB) dropVersionIndexEntries(h *tableHandle, tid storage.TID, row sqltypes.Row) error {
 	if h.primary != nil {
 		pkey, err := keyFor(h.meta.Schema, row, storageKey(h.meta))
 		if err != nil {
@@ -222,8 +265,12 @@ func (db *DB) deleteRow(h *tableHandle, tid storage.TID, row sqltypes.Row) error
 }
 
 // BulkInsert loads rows into a table efficiently, bypassing SQL but
-// maintaining structures and uniqueness like the normal path. Used by
-// the workload generator.
+// maintaining structures and uniqueness like the normal path. Rows are
+// stamped with the frozen transaction id — committed forever — so the
+// load is visible even to snapshots taken before it finished (the bulk
+// path trades that anomaly for not holding an id open; it runs under a
+// table X lock, so no concurrent writer interleaves). Used by the
+// workload generator.
 func (db *DB) BulkInsert(table string, rows []sqltypes.Row) error {
 	h := db.handle(table)
 	if h == nil {
@@ -240,14 +287,16 @@ func (db *DB) BulkInsert(table string, rows []sqltypes.Row) error {
 	defer db.locks.ReleaseAll(session)
 	detach := db.attachWalTxn(h, wtx)
 	var err error
+	var inserted int64
 	for _, row := range rows {
 		var coerced sqltypes.Row
 		if coerced, err = coerceRow(h.meta.Schema, row); err != nil {
 			break
 		}
-		if _, err = db.insertRow(h, coerced); err != nil {
+		if _, err = db.insertVersion(h, coerced, storage.VersionHeader{Xmin: frozenTxnID}, frozenTxnID); err != nil {
 			break
 		}
+		inserted++
 	}
 	detach()
 	// Finish (and on success wait out) the WAL transaction before the
@@ -258,25 +307,36 @@ func (db *DB) BulkInsert(table string, rows []sqltypes.Row) error {
 	if err != nil {
 		return err
 	}
+	h.heap.AdjustRows(inserted)
 	db.syncMeta(h)
 	return nil
 }
 
-// heapRowIter adapts a heap iterator to the executor's RowIter.
+// heapRowIter adapts a heap iterator to the executor's RowIter,
+// filtering versions through the statement's snapshot.
 type heapRowIter struct {
-	it *storage.HeapIter
+	it   *storage.HeapIter
+	snap *snapshot
 }
 
 func (r *heapRowIter) Next() (sqltypes.Row, bool, error) {
-	_, rec, ok, err := r.it.Next()
-	if err != nil || !ok {
-		return nil, false, err
+	for {
+		_, rec, ok, err := r.it.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if len(rec) < storage.VersionHeaderSize {
+			return nil, false, fmt.Errorf("engine: unversioned heap record")
+		}
+		if !r.snap.visible(storage.ReadVersionHeader(rec)) {
+			continue
+		}
+		row, err := sqltypes.DecodeRow(storage.VersionPayload(rec))
+		if err != nil {
+			return nil, false, err
+		}
+		return row, true, nil
 	}
-	row, err := sqltypes.DecodeRow(rec)
-	if err != nil {
-		return nil, false, err
-	}
-	return row, true, nil
 }
 
 func (r *heapRowIter) Close() error { return nil }
@@ -288,43 +348,68 @@ func (r *heapRowIter) Close() error { return nil }
 // contract.
 type heapBatchRowIter struct {
 	it     *storage.HeapBatchIter
+	snap   *snapshot
 	rb     storage.RecBatch
+	sel    []int // reused visibility selection backing array
 	arena  []sqltypes.Value
 	bounds []int // bounds[i]..bounds[i+1] delimit row i in arena
 }
 
 func (r *heapBatchRowIter) NextBatch(b *executor.Batch) (bool, error) {
 	b.Reset()
-	ok, err := r.it.NextBatchMax(&r.rb, executor.BatchSize)
-	if err != nil || !ok {
-		return false, err
-	}
-	r.arena = r.arena[:0]
-	r.bounds = append(r.bounds[:0], 0)
-	for _, rec := range r.rb.Recs {
-		if r.arena, err = sqltypes.AppendDecodedRow(r.arena, rec); err != nil {
+	for {
+		ok, err := r.it.NextBatchMax(&r.rb, executor.BatchSize)
+		if err != nil || !ok {
 			return false, err
 		}
-		r.bounds = append(r.bounds, len(r.arena))
+		// Visibility selection over the zero-copy record batch: Sel lists
+		// the visible record indexes; only those are decoded. A batch
+		// whose every version is invisible is skipped wholesale.
+		r.sel = r.sel[:0]
+		for i, rec := range r.rb.Recs {
+			if len(rec) < storage.VersionHeaderSize {
+				return false, fmt.Errorf("engine: unversioned heap record")
+			}
+			if r.snap.visible(storage.ReadVersionHeader(rec)) {
+				r.sel = append(r.sel, i)
+			}
+		}
+		r.rb.Sel = r.sel
+		if len(r.sel) == 0 {
+			continue
+		}
+		r.arena = r.arena[:0]
+		r.bounds = append(r.bounds[:0], 0)
+		for _, i := range r.sel {
+			if r.arena, err = sqltypes.AppendDecodedRow(r.arena, storage.VersionPayload(r.rb.Recs[i])); err != nil {
+				return false, err
+			}
+			r.bounds = append(r.bounds, len(r.arena))
+		}
+		// Carve the row slices only after every decode: AppendDecodedRow may
+		// move the arena while growing it.
+		for i := 0; i+1 < len(r.bounds); i++ {
+			lo, hi := r.bounds[i], r.bounds[i+1]
+			b.Rows = append(b.Rows, sqltypes.Row(r.arena[lo:hi:hi]))
+		}
+		return true, nil
 	}
-	// Carve the row slices only after every decode: AppendDecodedRow may
-	// move the arena while growing it.
-	for i := 0; i+1 < len(r.bounds); i++ {
-		lo, hi := r.bounds[i], r.bounds[i+1]
-		b.Rows = append(b.Rows, sqltypes.Row(r.arena[lo:hi:hi]))
-	}
-	return true, nil
 }
 
 // Close releases the page pins backing the last record batch.
 func (r *heapBatchRowIter) Close() error { return r.it.Close() }
 
 // btreeFetchIter walks a B-Tree key range whose values are TIDs and
-// fetches the base rows from the heap.
+// fetches the base rows from the heap, filtering versions through the
+// statement's snapshot. A dangling entry (vacuum reclaimed the version
+// under a buffered iterator) is skipped, as is a reused slot holding a
+// version the snapshot cannot see — any such reuse happened after the
+// snapshot, so visibility filters it out.
 type btreeFetchIter struct {
 	it   *storage.Iterator
 	hi   []byte
 	heap *storage.Heap
+	snap *snapshot
 	prof *storage.WaitProf
 }
 
@@ -338,10 +423,13 @@ func (r *btreeFetchIter) Next() (sqltypes.Row, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		if !ok {
-			return nil, false, fmt.Errorf("engine: dangling index entry for TID %v", tid)
+		if !ok || len(rec) < storage.VersionHeaderSize {
+			continue // reclaimed under the scan
 		}
-		row, err := sqltypes.DecodeRow(rec)
+		if !r.snap.visible(storage.ReadVersionHeader(rec)) {
+			continue
+		}
+		row, err := sqltypes.DecodeRow(storage.VersionPayload(rec))
 		if err != nil {
 			return nil, false, err
 		}
@@ -361,7 +449,7 @@ func (s executorStorage) ScanTable(name string) (executor.RowIter, error) {
 	if h == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", name)
 	}
-	return &heapRowIter{it: h.heap.IterProf(s.prof)}, nil
+	return &heapRowIter{it: h.heap.IterProf(s.prof), snap: s.snapshot()}, nil
 }
 
 // ScanTableBatch implements executor.BatchStorage: base tables scan
@@ -376,7 +464,7 @@ func (s executorStorage) ScanTableBatch(name string) (executor.RowBatchIter, err
 	if h == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", name)
 	}
-	return &heapBatchRowIter{it: h.heap.ScanBatchProf(s.prof)}, nil
+	return &heapBatchRowIter{it: h.heap.ScanBatchProf(s.prof), snap: s.snapshot()}, nil
 }
 
 // IndexRange implements executor.Storage.
@@ -396,7 +484,7 @@ func (s executorStorage) IndexRange(table, index string, lo, hi []byte) (executo
 	if bt == nil {
 		return nil, fmt.Errorf("engine: index %s has no storage", index)
 	}
-	return &btreeFetchIter{it: bt.SeekProf(lo, s.prof), hi: hi, heap: h.heap, prof: s.prof}, nil
+	return &btreeFetchIter{it: bt.SeekProf(lo, s.prof), hi: hi, heap: h.heap, snap: s.snapshot(), prof: s.prof}, nil
 }
 
 // PrimaryRange implements executor.Storage.
@@ -408,11 +496,15 @@ func (s executorStorage) PrimaryRange(table string, lo, hi []byte) (executor.Row
 	if h.primary == nil {
 		return nil, fmt.Errorf("engine: table %s has no primary B-Tree", table)
 	}
-	return &btreeFetchIter{it: h.primary.SeekProf(lo, s.prof), hi: hi, heap: h.heap, prof: s.prof}, nil
+	return &btreeFetchIter{it: h.primary.SeekProf(lo, s.prof), hi: hi, heap: h.heap, snap: s.snapshot(), prof: s.prof}, nil
 }
 
-// scanAll collects every row of a table with its TID (DML helper).
+// scanAll collects every committed-visible row of a table with its TID
+// (DDL rebuild helper). It reads against current reality: callers hold
+// a table X lock, so no writer is in flight on the table and reality is
+// final for it.
 func (db *DB) scanAll(h *tableHandle) ([]storage.TID, []sqltypes.Row, error) {
+	sn := db.txns.realitySnapshot()
 	var tids []storage.TID
 	var rows []sqltypes.Row
 	it := h.heap.Iter()
@@ -424,7 +516,13 @@ func (db *DB) scanAll(h *tableHandle) ([]storage.TID, []sqltypes.Row, error) {
 		if !ok {
 			return tids, rows, nil
 		}
-		row, err := sqltypes.DecodeRow(rec)
+		if len(rec) < storage.VersionHeaderSize {
+			return nil, nil, fmt.Errorf("engine: unversioned record %v in %s", tid, h.meta.Name)
+		}
+		if !sn.visible(storage.ReadVersionHeader(rec)) {
+			continue
+		}
+		row, err := sqltypes.DecodeRow(storage.VersionPayload(rec))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -497,11 +595,15 @@ func (db *DB) rebuildTable(h *tableHandle, structure catalog.Structure, keyCols 
 	} else {
 		h.meta.StorageKey = nil
 	}
+	// Rebuilt rows are frozen: the rebuild keeps only committed-visible
+	// versions, so their history is irrelevant and the compacted heap
+	// starts with clean single-version chains.
 	for _, row := range rows {
-		if _, err := db.insertRow(h, row); err != nil {
+		if _, err := db.insertVersion(h, row, storage.VersionHeader{Xmin: frozenTxnID}, frozenTxnID); err != nil {
 			return err
 		}
 	}
+	h.heap.ResetRows(int64(len(rows)))
 	// After a rebuild every page is a main page: no overflow.
 	h.heap.SetMainPages(h.heap.Pages())
 	db.syncMeta(h)

@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+)
+
+// MVCC transaction manager. Transaction ids are allocated monotonically
+// starting at firstTxnID; id frozenTxnID marks bulk-loaded and rebuilt
+// rows as committed-forever. A transaction is in exactly one of three
+// states: inflight (open), committed (absent from both sets), or
+// aborted. Aborted ids are kept in a copy-on-write set — the engine
+// never undoes an aborted transaction's versions physically; they stay
+// on disk, invisible to every snapshot, until vacuum reclaims them and
+// retires the id.
+const (
+	frozenTxnID = 1
+	firstTxnID  = 2
+)
+
+type txnManager struct {
+	mu       sync.Mutex
+	next     uint64
+	inflight map[uint64]bool
+	// snaps tracks active snapshots (keyed by a serial) so vacuum can
+	// compute the oldest visibility horizon.
+	snaps      map[uint64]*snapshot
+	snapSerial uint64
+	// aborted is copy-on-write: snapshots capture the pointer at
+	// creation, making visibility checks lock-free. Ids are only added
+	// while a transaction aborts and removed only by vacuum once no
+	// on-disk record references them.
+	aborted atomic.Pointer[map[uint64]bool]
+
+	begins    atomic.Int64
+	commits   atomic.Int64
+	aborts    atomic.Int64
+	conflicts atomic.Int64
+	retired   atomic.Int64
+}
+
+func newTxnManager() *txnManager {
+	m := &txnManager{
+		next:     firstTxnID,
+		inflight: map[uint64]bool{},
+		snaps:    map[uint64]*snapshot{},
+	}
+	empty := map[uint64]bool{}
+	m.aborted.Store(&empty)
+	return m
+}
+
+// restore seeds the manager from the persisted catalog state plus what
+// recovery derived from the WAL.
+func (m *txnManager) restore(ts catalog.TxnStatus, extraAborted map[uint64]bool, maxSeen uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ts.NextTxnID > m.next {
+		m.next = ts.NextTxnID
+	}
+	if maxSeen >= m.next {
+		m.next = maxSeen + 1
+	}
+	ab := map[uint64]bool{}
+	for _, id := range ts.Aborted {
+		ab[id] = true
+	}
+	for id := range extraAborted {
+		ab[id] = true
+	}
+	delete(ab, 0)
+	delete(ab, frozenTxnID)
+	m.aborted.Store(&ab)
+}
+
+// begin allocates a transaction id and registers it as inflight.
+func (m *txnManager) begin() uint64 {
+	m.mu.Lock()
+	id := m.next
+	m.next++
+	m.inflight[id] = true
+	m.mu.Unlock()
+	m.begins.Add(1)
+	return id
+}
+
+// commit marks the transaction committed (simply: no longer inflight).
+// The caller has already made the WAL commit record durable.
+func (m *txnManager) commit(id uint64) {
+	m.mu.Lock()
+	delete(m.inflight, id)
+	m.mu.Unlock()
+	m.commits.Add(1)
+}
+
+// abort marks the transaction aborted: removed from inflight and added
+// to the copy-on-write aborted set. Its versions stay on disk but no
+// snapshot — current or future — will see them. Snapshots captured
+// before the abort hold the id in their inflight set (or past their
+// horizon), so their older aborted-map reference stays correct.
+func (m *txnManager) abort(id uint64) {
+	if id == 0 {
+		return
+	}
+	m.mu.Lock()
+	delete(m.inflight, id)
+	old := *m.aborted.Load()
+	ab := make(map[uint64]bool, len(old)+1)
+	for k := range old {
+		ab[k] = true
+	}
+	ab[id] = true
+	m.aborted.Store(&ab)
+	m.mu.Unlock()
+	m.aborts.Add(1)
+}
+
+// retire drops aborted ids that vacuum proved unreferenced on disk.
+func (m *txnManager) retire(ids []uint64) {
+	if len(ids) == 0 {
+		return
+	}
+	m.mu.Lock()
+	old := *m.aborted.Load()
+	ab := make(map[uint64]bool, len(old))
+	for k := range old {
+		ab[k] = true
+	}
+	for _, id := range ids {
+		delete(ab, id)
+	}
+	m.aborted.Store(&ab)
+	m.mu.Unlock()
+	m.retired.Add(int64(len(ids)))
+}
+
+// snapshot is a point-in-time visibility cut: transaction ids below
+// horizon and in neither the captured inflight set nor the aborted set
+// are committed; everything else (besides self) is invisible.
+type snapshot struct {
+	serial   uint64
+	self     uint64 // owning txn id; 0 for read-only statements
+	horizon  uint64 // ids >= horizon started after the snapshot
+	inflight map[uint64]bool
+	aborted  *map[uint64]bool
+	taken    time.Time
+}
+
+// capture takes a snapshot for the transaction self (0 for pure
+// readers) and registers it with the manager until release.
+func (m *txnManager) capture(self uint64) *snapshot {
+	m.mu.Lock()
+	sn := &snapshot{
+		self:    self,
+		horizon: m.next,
+		aborted: m.aborted.Load(),
+		taken:   time.Now(),
+	}
+	if len(m.inflight) > 0 {
+		sn.inflight = make(map[uint64]bool, len(m.inflight))
+		for id := range m.inflight {
+			if id != self {
+				sn.inflight[id] = true
+			}
+		}
+	}
+	m.snapSerial++
+	sn.serial = m.snapSerial
+	m.snaps[sn.serial] = sn
+	m.mu.Unlock()
+	return sn
+}
+
+// release unregisters the snapshot.
+func (m *txnManager) release(sn *snapshot) {
+	if sn == nil {
+		return
+	}
+	m.mu.Lock()
+	delete(m.snaps, sn.serial)
+	m.mu.Unlock()
+}
+
+// setSelf attaches the lazily-allocated transaction id to a snapshot
+// taken while the transaction was still read-only. Safe because the id
+// was allocated after the snapshot's horizon — no other session's
+// versions can carry it.
+func (sn *snapshot) setSelf(id uint64) { sn.self = id }
+
+// sees reports whether the snapshot treats transaction x as committed.
+func (sn *snapshot) sees(x uint64) bool {
+	if x == sn.self && x != 0 {
+		return true
+	}
+	if x >= sn.horizon {
+		return false
+	}
+	if sn.inflight[x] {
+		return false
+	}
+	if (*sn.aborted)[x] {
+		return false
+	}
+	return true
+}
+
+// visible reports whether the record version carrying header h exists
+// for this snapshot: its creator is seen committed (or is self) and its
+// deleter, if any, is not.
+func (sn *snapshot) visible(h storage.VersionHeader) bool {
+	if !sn.sees(h.Xmin) {
+		return false
+	}
+	return h.Xmax == 0 || !sn.sees(h.Xmax)
+}
+
+// realitySnapshot is a snapshot of current committed reality (no
+// registration, self = 0): what a brand-new transaction would see.
+// Uniqueness checks and DDL rebuilds use it.
+func (m *txnManager) realitySnapshot() *snapshot {
+	m.mu.Lock()
+	sn := &snapshot{horizon: m.next, aborted: m.aborted.Load()}
+	if len(m.inflight) > 0 {
+		sn.inflight = make(map[uint64]bool, len(m.inflight))
+		for id := range m.inflight {
+			sn.inflight[id] = true
+		}
+	}
+	m.mu.Unlock()
+	return sn
+}
+
+// vacuumHorizon returns the id floor below which a committed deleter is
+// invisible to every active and future snapshot: the minimum over the
+// next id, all inflight ids, and for each active snapshot its horizon
+// and lowest captured-inflight id.
+func (m *txnManager) vacuumHorizon() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.next
+	for id := range m.inflight {
+		if id < h {
+			h = id
+		}
+	}
+	for _, sn := range m.snaps {
+		if sn.horizon < h {
+			h = sn.horizon
+		}
+		for id := range sn.inflight {
+			if id < h {
+				h = id
+			}
+		}
+	}
+	return h
+}
+
+// oldestSnapshotAge returns the age of the oldest active snapshot, or 0
+// when none is active.
+func (m *txnManager) oldestSnapshotAge(now time.Time) time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var oldest time.Time
+	for _, sn := range m.snaps {
+		if oldest.IsZero() || sn.taken.Before(oldest) {
+			oldest = sn.taken
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return now.Sub(oldest)
+}
+
+// status snapshots the persistable transaction state for checkpoints.
+func (m *txnManager) status() catalog.TxnStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts := catalog.TxnStatus{NextTxnID: m.next}
+	for id := range *m.aborted.Load() {
+		ts.Aborted = append(ts.Aborted, id)
+	}
+	for id := range m.inflight {
+		ts.Inflight = append(ts.Inflight, id)
+	}
+	sort.Slice(ts.Aborted, func(i, j int) bool { return ts.Aborted[i] < ts.Aborted[j] })
+	sort.Slice(ts.Inflight, func(i, j int) bool { return ts.Inflight[i] < ts.Inflight[j] })
+	return ts
+}
+
+// counts returns instantaneous set sizes.
+func (m *txnManager) counts() (inflight, activeSnaps, abortedIDs int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.inflight), len(m.snaps), len(*m.aborted.Load())
+}
+
+// abortedSet returns the current aborted-id set (shared, read-only).
+func (m *txnManager) abortedSet() map[uint64]bool { return *m.aborted.Load() }
+
+// txnState is the current (not snapshot-relative) state of a
+// transaction id: write paths consult it under the table's statement
+// write gate, where conflicting writers are serialized.
+type txnState int
+
+const (
+	txnCommitted txnState = iota
+	txnInflight
+	txnAborted
+)
+
+// stateOf classifies a transaction id against current reality.
+func (m *txnManager) stateOf(x uint64) txnState {
+	if x == 0 || x == frozenTxnID {
+		return txnCommitted
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.inflight[x] {
+		return txnInflight
+	}
+	if (*m.aborted.Load())[x] {
+		return txnAborted
+	}
+	return txnCommitted
+}

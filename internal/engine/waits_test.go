@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -47,6 +49,7 @@ func TestWaitAttributionCoverage(t *testing.T) {
 		t.Fatal("Flag refused")
 	}
 	const sessions, perSession = 4, 20
+	var attempts atomic.Int64
 	var wg sync.WaitGroup
 	for g := 0; g < sessions; g++ {
 		wg.Add(1)
@@ -55,7 +58,17 @@ func TestWaitAttributionCoverage(t *testing.T) {
 			sess := db.NewSession()
 			defer sess.Close()
 			for i := 0; i < perSession; i++ {
-				if _, err := sess.Exec(q); err != nil {
+				// Write conflicts are retried; every attempt — conflicted
+				// or not — is one sampled execution.
+				for {
+					attempts.Add(1)
+					_, err := sess.Exec(q)
+					if err == nil {
+						break
+					}
+					if errors.Is(err, ErrWriteConflict) {
+						continue
+					}
 					t.Error(err)
 					return
 				}
@@ -69,8 +82,8 @@ func TestWaitAttributionCoverage(t *testing.T) {
 		t.Fatalf("flags = %+v", fs)
 	}
 	f := fs[0]
-	if f.Samples != sessions*perSession {
-		t.Fatalf("samples = %d, want %d", f.Samples, sessions*perSession)
+	if f.Samples != attempts.Load() {
+		t.Fatalf("samples = %d, want %d attempted executions", f.Samples, attempts.Load())
 	}
 	if f.Waits.WallNs <= 0 {
 		t.Fatal("no wall time attributed")
@@ -188,7 +201,7 @@ func TestFlagChurnUnderConcurrentSessions(t *testing.T) {
 					return
 				default:
 				}
-				if _, err := sess.Exec(queries[r.Intn(len(queries))]); err != nil {
+				if _, err := sess.Exec(queries[r.Intn(len(queries))]); err != nil && !errors.Is(err, ErrWriteConflict) {
 					t.Error(err)
 					return
 				}

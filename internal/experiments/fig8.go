@@ -62,10 +62,11 @@ func RunFig8(cfg Config) (*Fig8Result, error) {
 			defer s.Close()
 			i := 0
 			for time.Now().Before(stop) {
-				// Transactions update protein and annotation in
-				// alternating orders: their X locks collide, producing
-				// lock waits and the occasional deadlock (the victim's
-				// transaction aborts and retries on the next round).
+				// Transactions update one hot row each in protein and
+				// annotation, in alternating orders: their row X locks
+				// collide, producing lock waits, write conflicts, and
+				// the occasional deadlock (the victim's transaction
+				// aborts and retries on the next round).
 				var first, second string
 				if (i+w)%2 == 0 {
 					first, second = "protein", "annotation"
@@ -74,8 +75,8 @@ func RunFig8(cfg Config) (*Fig8Result, error) {
 				}
 				s.Begin()
 				upd := func(tbl string) error {
-					_, err := s.Exec(fmt.Sprintf("UPDATE %s SET %s = %s WHERE %s = -1",
-						tbl, keyCol(tbl), keyCol(tbl), keyCol(tbl)))
+					_, err := s.Exec(fmt.Sprintf("UPDATE %s SET %s = %s WHERE %s",
+						tbl, keyCol(tbl), keyCol(tbl), hotRowPred(tbl)))
 					return err
 				}
 				if err := upd(first); err == nil {
@@ -121,6 +122,16 @@ func keyCol(table string) string {
 		return "length"
 	}
 	return "ordinal"
+}
+
+// hotRowPred pins every writer to the same single row per table so
+// their row write locks actually collide (a predicate matching no rows
+// takes no row locks under MVCC and produces no contention).
+func hotRowPred(table string) string {
+	if table == "protein" {
+		return fmt.Sprintf("nref_id = '%s'", nref.NrefID(0))
+	}
+	return "annotation_id = 0"
 }
 
 // String renders the experiment.

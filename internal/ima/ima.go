@@ -29,6 +29,12 @@
 //	                  deep wait attribution, why, and since when
 //	ima_waits       — per-flagged-statement wait-state breakdown
 //	                  (exec / lock / io / fsync / pinwait vs. wall)
+//
+// The MVCC layer adds one more:
+//
+//	ima_mvcc        — snapshot-isolation health: txn begin/commit/abort
+//	                  counters, write conflicts, oldest snapshot age,
+//	                  vacuum reclaim progress and chain-length p95
 package ima
 
 import (
@@ -357,6 +363,42 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 					})
 				}
 				return rows
+			},
+		},
+		{
+			name: "ima_mvcc",
+			schema: sqltypes.NewSchema(
+				sqltypes.Column{Name: "txn_begins", Type: sqltypes.Int},
+				sqltypes.Column{Name: "txn_commits", Type: sqltypes.Int},
+				sqltypes.Column{Name: "txn_aborts", Type: sqltypes.Int},
+				sqltypes.Column{Name: "write_conflicts", Type: sqltypes.Int},
+				sqltypes.Column{Name: "inflight_txns", Type: sqltypes.Int},
+				sqltypes.Column{Name: "active_snapshots", Type: sqltypes.Int},
+				sqltypes.Column{Name: "aborted_ids", Type: sqltypes.Int},
+				sqltypes.Column{Name: "oldest_snapshot_ns", Type: sqltypes.Int},
+				sqltypes.Column{Name: "vacuum_runs", Type: sqltypes.Int},
+				sqltypes.Column{Name: "vacuum_reclaimed", Type: sqltypes.Int},
+				sqltypes.Column{Name: "vacuum_cleared", Type: sqltypes.Int},
+				sqltypes.Column{Name: "retired_ids", Type: sqltypes.Int},
+				sqltypes.Column{Name: "chain_len_p95", Type: sqltypes.Int},
+			),
+			provider: func() []sqltypes.Row {
+				mv := db.MvccStats()
+				return []sqltypes.Row{{
+					sqltypes.NewInt(mv.TxnBegins),
+					sqltypes.NewInt(mv.TxnCommits),
+					sqltypes.NewInt(mv.TxnAborts),
+					sqltypes.NewInt(mv.WriteConflicts),
+					sqltypes.NewInt(mv.InflightTxns),
+					sqltypes.NewInt(mv.ActiveSnapshots),
+					sqltypes.NewInt(mv.AbortedIDs),
+					sqltypes.NewInt(mv.OldestSnapshotNanos),
+					sqltypes.NewInt(mv.VacuumRuns),
+					sqltypes.NewInt(mv.VacuumReclaimed),
+					sqltypes.NewInt(mv.VacuumCleared),
+					sqltypes.NewInt(mv.RetiredIDs),
+					sqltypes.NewInt(mv.ChainLenP95),
+				}}
 			},
 		},
 		{

@@ -1,8 +1,10 @@
-// Package lock implements a table-level lock manager with shared and
-// exclusive modes, FIFO wait queues and wait-for-graph deadlock
-// detection. Its counters (locks in use, lock waits, deadlocks) feed
-// the system-statistics sensor behind the paper's locks diagram
-// (Figure 8).
+// Package lock implements a lock manager for named resources with
+// shared, intention-exclusive and exclusive modes, FIFO wait queues and
+// wait-for-graph deadlock detection. The engine keys both table locks
+// and MVCC row locks through it (row resources embed the TID in the
+// name, so the same queues and deadlock detector serve both). Its
+// counters (locks in use, lock waits, deadlocks) feed the
+// system-statistics sensor behind the paper's locks diagram (Figure 8).
 package lock
 
 import (
@@ -17,16 +19,25 @@ import (
 // Mode is a lock mode.
 type Mode int
 
-// Lock modes. Shared is compatible with Shared; Exclusive with nothing.
+// Lock modes. Only Exclusive conflicts: S-S, S-IX and IX-IX are all
+// compatible. Intent marks a table as having row-level writers so DDL
+// (which takes Exclusive) waits them out, without writers blocking
+// readers. The ordering matters: holding a stronger mode satisfies
+// requests for weaker ones, and Intent excludes everything Shared does
+// (namely Exclusive), so Intent ≥ Shared is sound.
 const (
 	Shared Mode = iota
+	Intent
 	Exclusive
 )
 
-// String returns "S" or "X".
+// String returns "S", "IX" or "X".
 func (m Mode) String() string {
-	if m == Exclusive {
+	switch m {
+	case Exclusive:
 		return "X"
+	case Intent:
+		return "IX"
 	}
 	return "S"
 }
@@ -88,21 +99,20 @@ func (m *Manager) Acquire(session int64, resource string, mode Mode) error {
 		ls = &lockState{holders: map[int64]Mode{}}
 		m.locks[resource] = ls
 	}
+	upgrade := false
 	if held, ok := ls.holders[session]; ok {
 		if held >= mode {
 			m.mu.Unlock()
 			return nil
 		}
-		// Upgrade S -> X: immediate if sole holder.
-		if len(ls.holders) == 1 {
-			ls.holders[session] = Exclusive
-			m.grants.Add(1)
-			m.mu.Unlock()
-			return nil
-		}
-		// Fall through to wait for the other holders to leave.
+		// Upgrading holders skip the FIFO queue check: a holder parked
+		// behind a queued Exclusive waiter could never be granted (the
+		// waiter is blocked on the very lock the holder keeps), and the
+		// cycle runs through the queue where the DFS cannot see it.
+		// Holder-holder upgrade cycles are still caught below.
+		upgrade = true
 	}
-	if m.grantableLocked(ls, session, mode) {
+	if m.grantableLocked(ls, session, mode, upgrade) {
 		ls.holders[session] = mode
 		m.grants.Add(1)
 		m.mu.Unlock()
@@ -127,8 +137,9 @@ func (m *Manager) Acquire(session int64, resource string, mode Mode) error {
 }
 
 // grantableLocked reports whether the request is compatible with the
-// current holders and does not jump an incompatible FIFO queue.
-func (m *Manager) grantableLocked(ls *lockState, session int64, mode Mode) bool {
+// current holders and (unless upgrading) does not jump an incompatible
+// FIFO queue.
+func (m *Manager) grantableLocked(ls *lockState, session int64, mode Mode, upgrade bool) bool {
 	for holder, held := range ls.holders {
 		if holder == session {
 			continue
@@ -137,8 +148,11 @@ func (m *Manager) grantableLocked(ls *lockState, session int64, mode Mode) bool 
 			return false
 		}
 	}
-	// Do not starve queued writers: a new shared request waits behind a
-	// queued exclusive one.
+	if upgrade {
+		return true
+	}
+	// Do not starve queued writers: a new compatible request waits
+	// behind a queued exclusive one.
 	for _, w := range ls.queue {
 		if mode == Exclusive || w.mode == Exclusive {
 			return false

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // B+Tree node page layout:
@@ -161,10 +162,14 @@ func btCompact(d []byte) {
 
 // BTree is a disk-backed B+Tree mapping byte-string keys to values.
 // Keys are unique; callers that need duplicates (secondary indexes)
-// append the TID to the key. Not safe for concurrent use — the engine
-// serializes access with table locks.
+// append the TID to the key. Access is latched with a per-tree
+// RWMutex: lookups and iterator refills hold the read side, Put/Delete
+// the write side. Under MVCC the engine serializes writers per table
+// with its statement write gate, so the latch's job is to keep reader
+// page accesses race-free against the one active writer.
 type BTree struct {
 	file  *File
+	mu    sync.RWMutex
 	root  uint32
 	count int64
 }
@@ -238,10 +243,16 @@ func (t *BTree) writeMeta() error {
 func (t *BTree) File() *File { return t.file }
 
 // Count returns the number of entries.
-func (t *BTree) Count() int64 { return t.count }
+func (t *BTree) Count() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.count
+}
 
 // Height returns the tree height (1 = root is a leaf).
 func (t *BTree) Height() (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	h := 1
 	page := t.root
 	for {
@@ -261,6 +272,8 @@ func (t *BTree) Height() (int, error) {
 
 // Get returns the value stored under key.
 func (t *BTree) Get(key []byte) ([]byte, bool, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	page := t.root
 	for {
 		p, err := t.file.GetPage(page)
@@ -308,6 +321,8 @@ func (t *BTree) Put(key, val []byte) error {
 	if len(key)+len(val) > MaxEntrySize {
 		return fmt.Errorf("storage: B-Tree entry of %d bytes exceeds max %d", len(key)+len(val), MaxEntrySize)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	res, inserted, err := t.put(t.root, key, val)
 	if err != nil {
 		return err
@@ -540,6 +555,8 @@ func rebuildNode(d []byte, typ byte, next uint32, ents []btEnt) {
 // Delete removes key if present, reporting whether it was found. Leaves
 // are not rebalanced (lazy deletion, as with heap slots).
 func (t *BTree) Delete(key []byte) (bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	page := t.root
 	for {
 		p, err := t.file.GetPage(page)
@@ -568,48 +585,46 @@ func (t *BTree) Delete(key []byte) (bool, error) {
 	}
 }
 
-// Iterator walks leaf entries in key order.
+// Iterator walks leaf entries in key order. It is key-stable under
+// concurrent writers: instead of remembering a (page, index) position —
+// which splits and deletions would silently shift — it buffers the
+// remainder of one leaf per refill (copied into a reused arena under
+// the tree's read latch) and re-seeks from the root for the successor
+// of the last served key when the buffer drains. Between refills it
+// holds no latch and no pins, so an iterator abandoned mid-scan cannot
+// block writers.
 type Iterator struct {
-	t    *BTree
-	page uint32
-	idx  int
-	key  []byte
-	val  []byte
-	err  error
-	done bool
-	prof *WaitProf // wait attribution for flagged statements; usually nil
+	t      *BTree
+	prof   *WaitProf // wait attribution for flagged statements; usually nil
+	err    error
+	done   bool
+	primed bool   // first refill happened; lastKey is the resume point
+	start  []byte // original seek target
+	last   []byte // last key served (resume at its successor)
+	target []byte // reused successor buffer
+	arena  []byte // backing bytes of the buffered entries
+	ents   []btEntSpan
+	pos    int
+	key    []byte
+	val    []byte
 }
 
+// btEntSpan locates one buffered entry inside the iterator arena.
+type btEntSpan struct{ koff, kend, vend int }
+
 // Seek positions an iterator at the first entry with key >= start (or
-// the first entry overall if start is nil).
+// the first entry overall if start is nil). The descent is deferred to
+// the first Next call.
 func (t *BTree) Seek(start []byte) *Iterator { return t.SeekProf(start, nil) }
 
-// SeekProf is Seek with a wait profiler attached to the descent and to
-// every leaf page get of the resulting iterator.
+// SeekProf is Seek with a wait profiler attached to every refill
+// descent of the resulting iterator.
 func (t *BTree) SeekProf(start []byte, prof *WaitProf) *Iterator {
 	it := &Iterator{t: t, prof: prof}
-	page := t.root
-	for {
-		p, err := t.file.GetPageProf(page, prof)
-		if err != nil {
-			it.err = err
-			it.done = true
-			return it
-		}
-		d := p.Data
-		if btType(d) == btLeaf {
-			i, _ := btSearch(d, start)
-			it.page, it.idx = page, i
-			p.Release()
-			return it
-		}
-		if start == nil {
-			page = btNext(d)
-		} else {
-			page = btChild(d, start)
-		}
-		p.Release()
+	if start != nil {
+		it.start = append([]byte(nil), start...)
 	}
+	return it
 }
 
 // Next advances the iterator, reporting whether an entry is available
@@ -618,28 +633,75 @@ func (it *Iterator) Next() bool {
 	if it.done {
 		return false
 	}
+	if it.pos >= len(it.ents) && !it.refill() {
+		return false
+	}
+	e := it.ents[it.pos]
+	it.pos++
+	it.key = it.arena[e.koff:e.kend]
+	it.val = it.arena[e.kend:e.vend]
+	it.last = append(it.last[:0], it.key...)
+	return true
+}
+
+// refill re-seeks from the root under the read latch and buffers the
+// rest of the leaf holding the resume key (following right siblings
+// while empty). Returns false at the end of the tree or on error.
+func (it *Iterator) refill() bool {
+	it.arena = it.arena[:0]
+	it.ents = it.ents[:0]
+	it.pos = 0
+	target := it.start
+	if it.primed {
+		// Successor of the last served key: last || 0x00 is the
+		// smallest byte string strictly greater than last.
+		it.target = append(it.target[:0], it.last...)
+		it.target = append(it.target, 0)
+		target = it.target
+	}
+	it.primed = true
+
+	it.t.mu.RLock()
+	defer it.t.mu.RUnlock()
+	page := it.t.root
 	for {
-		p, err := it.t.file.GetPageProf(it.page, it.prof)
+		p, err := it.t.file.GetPageProf(page, it.prof)
 		if err != nil {
 			it.err = err
 			it.done = true
 			return false
 		}
 		d := p.Data
-		if it.idx < btCount(d) {
-			it.key = append(it.key[:0], btKey(d, it.idx)...)
-			it.val = append(it.val[:0], btVal(d, it.idx)...)
-			it.idx++
-			p.Release()
-			return true
+		if btType(d) == btLeaf {
+			for {
+				i, _ := btSearch(d, target)
+				for n := btCount(d); i < n; i++ {
+					koff := len(it.arena)
+					it.arena = append(it.arena, btKey(d, i)...)
+					kend := len(it.arena)
+					it.arena = append(it.arena, btVal(d, i)...)
+					it.ents = append(it.ents, btEntSpan{koff, kend, len(it.arena)})
+				}
+				next := btNext(d)
+				p.Release()
+				if len(it.ents) > 0 {
+					return true
+				}
+				if next == 0 {
+					it.done = true
+					return false
+				}
+				p, err = it.t.file.GetPageProf(next, it.prof)
+				if err != nil {
+					it.err = err
+					it.done = true
+					return false
+				}
+				d = p.Data
+			}
 		}
-		next := btNext(d)
+		page = btChild(d, target)
 		p.Release()
-		if next == 0 {
-			it.done = true
-			return false
-		}
-		it.page, it.idx = next, 0
 	}
 }
 

@@ -23,16 +23,13 @@ type File struct {
 
 	// wal, when set, makes every write-back of this file's pages wait
 	// for the WAL to be durable up to the page's LSN, and curTxn (the
-	// session transaction currently mutating this file, set under the
-	// table's exclusive lock) receives before-image capture calls from
-	// Page.WillModify.
-	wal    *WAL
-	curTxn *WalTxn
-	// curProf, when set, receives wait attribution for every page get
-	// on this file. Like curTxn it is a plain field set under the
-	// owning table's exclusive lock (DML write path only; read paths
-	// thread their profiler explicitly through the iterators).
-	curProf *WaitProf
+	// statement transaction currently mutating this file, set under the
+	// table's statement write gate) receives before-image capture calls
+	// from Page.WillModify. Atomic because MVCC readers run GetPage
+	// concurrently with the writer installing/clearing these.
+	wal     *WAL
+	curTxn  atomic.Pointer[WalTxn]
+	curProf atomic.Pointer[WaitProf]
 
 	mu    sync.Mutex
 	f     *os.File
@@ -70,16 +67,16 @@ func OpenFile(path string, pool *Pool) (*File, error) {
 // modified under logging.
 func (f *File) AttachWAL(w *WAL) { f.wal = w }
 
-// SetWALTxn points WillModify at the transaction currently mutating
-// this file. Callers hold the owning table's exclusive lock, which is
-// what makes the plain field safe.
-func (f *File) SetWALTxn(t *WalTxn) { f.curTxn = t }
+// SetWALTxn points WillModify at the statement transaction currently
+// mutating this file. Callers hold the table's statement write gate, so
+// at most one non-nil value is installed at a time; the atomic only
+// protects concurrent readers.
+func (f *File) SetWALTxn(t *WalTxn) { f.curTxn.Store(t) }
 
 // SetProf attaches a wait profiler to every page get on this file, for
 // the DML write path of a phase-2 flagged statement. Same safety
-// argument as SetWALTxn: set and cleared under the owning table's
-// exclusive lock.
-func (f *File) SetProf(prof *WaitProf) { f.curProf = prof }
+// argument as SetWALTxn.
+func (f *File) SetProf(prof *WaitProf) { f.curProf.Store(prof) }
 
 // walBarrier enforces WAL-before-data: the page image about to be
 // written carries its last LSN in the trailer, and the log must be
@@ -202,7 +199,7 @@ type Page struct {
 // attributed to the file's current profiler, if any (the DML write
 // path under the table's exclusive lock).
 func (f *File) GetPage(page uint32) (*Page, error) {
-	return f.GetPageProf(page, f.curProf)
+	return f.GetPageProf(page, f.curProf.Load())
 }
 
 // GetPageProf is GetPage with an explicit wait profiler: read paths
@@ -211,7 +208,7 @@ func (f *File) GetPage(page uint32) (*Page, error) {
 // current profiler.
 func (f *File) GetPageProf(page uint32, prof *WaitProf) (*Page, error) {
 	if prof == nil {
-		prof = f.curProf
+		prof = f.curProf.Load()
 	}
 	fr, err := f.pool.get(f, page, prof)
 	if err != nil {
@@ -225,14 +222,14 @@ func (f *File) GetPageProf(page uint32, prof *WaitProf) (*Page, error) {
 // before being reused. Batch scans pin one page per batch step through
 // a single reused handle.
 func (f *File) PinPage(page uint32, p *Page) error {
-	return f.PinPageProf(page, p, f.curProf)
+	return f.PinPageProf(page, p, f.curProf.Load())
 }
 
 // PinPageProf is PinPage with an explicit wait profiler (see
 // GetPageProf).
 func (f *File) PinPageProf(page uint32, p *Page, prof *WaitProf) error {
 	if prof == nil {
-		prof = f.curProf
+		prof = f.curProf.Load()
 	}
 	fr, err := f.pool.get(f, page, prof)
 	if err != nil {
@@ -253,7 +250,7 @@ func (p *Page) WillModify() error {
 	if p.f == nil || p.f.wal == nil {
 		return nil
 	}
-	return p.f.curTxn.captureBefore(p)
+	return p.f.curTxn.Load().captureBefore(p)
 }
 
 // Release unpins the page. The unpin is lock-free: it touches only

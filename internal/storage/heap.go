@@ -3,6 +3,8 @@ package storage
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // TID identifies a record: page number in the high 32 bits, slot in the
@@ -71,11 +73,20 @@ const MaxRecordSize = PageDataSize - heapHeaderSize - slotSize - 64
 // Pages allocated before FinishLoad (or up to MainPages at creation)
 // are "main" pages; growth beyond that is counted as overflow pages,
 // which is exactly the signal the analyzer's restructuring rule uses.
+// Heap access is latched with a per-heap RWMutex: readers (Get, Iter,
+// Scan, batch fills) hold the read side per operation — the batch
+// iterator for the life of a batch, since its records alias pinned
+// frames — and mutators (Insert, Delete, SetXmax, vacuum's FreeSlot)
+// hold the write side. Under MVCC, readers run concurrently with one
+// writer per table (the engine's statement write gate serializes
+// writers), so the latch is what keeps page bytes race-free.
 type Heap struct {
 	file      *File
 	mainPages uint32 // pages considered part of the initial extent
-	rows      int64
+	rows      atomic.Int64
 	lastPage  uint32 // insertion hint
+	mu        sync.RWMutex
+	freeSlots []TID // vacuum-reclaimed slots awaiting reuse
 }
 
 // OpenHeap opens a heap over the given file. mainPages is the size of
@@ -85,7 +96,8 @@ func OpenHeap(file *File, mainPages uint32, rows int64) *Heap {
 	if mainPages == 0 {
 		mainPages = 1
 	}
-	h := &Heap{file: file, mainPages: mainPages, rows: rows}
+	h := &Heap{file: file, mainPages: mainPages}
+	h.rows.Store(rows)
 	if n := file.Pages(); n > 0 {
 		h.lastPage = n - 1
 	}
@@ -95,8 +107,14 @@ func OpenHeap(file *File, mainPages uint32, rows int64) *Heap {
 // File returns the underlying page file.
 func (h *Heap) File() *File { return h.file }
 
-// Rows returns the live record count.
-func (h *Heap) Rows() int64 { return h.rows }
+// Rows returns the live record count. Under MVCC this counts committed
+// visible rows: Insert/Delete do not touch it; the engine applies each
+// transaction's net delta at commit via AdjustRows, so aborted inserts
+// and vacuumed dead versions are never counted.
+func (h *Heap) Rows() int64 { return h.rows.Load() }
+
+// AdjustRows applies a committed transaction's net row delta.
+func (h *Heap) AdjustRows(delta int64) { h.rows.Add(delta) }
 
 // Pages returns the total number of data pages.
 func (h *Heap) Pages() uint32 { return h.file.Pages() }
@@ -122,10 +140,18 @@ func (h *Heap) SetMainPages(n uint32) {
 	h.mainPages = n
 }
 
-// Insert appends a record and returns its TID.
+// Insert stores a record and returns its TID, preferring a
+// vacuum-reclaimed slot whose page has room before appending to the
+// tail. It does not touch the row counter — the engine applies the
+// committed net delta via AdjustRows.
 func (h *Heap) Insert(rec []byte) (TID, error) {
 	if len(rec) > MaxRecordSize {
 		return 0, fmt.Errorf("storage: record of %d bytes exceeds max %d", len(rec), MaxRecordSize)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if tid, ok, err := h.insertIntoFreeSlot(rec); err != nil || ok {
+		return tid, err
 	}
 	need := len(rec) + slotSize
 	for {
@@ -142,11 +168,7 @@ func (h *Heap) Insert(rec []byte) (TID, error) {
 		if pageFreeSpace(p.Data) >= need {
 			tid, err := insertIntoPage(p, h.lastPage, rec)
 			p.Release()
-			if err != nil {
-				return 0, err
-			}
-			h.rows++
-			return tid, nil
+			return tid, err
 		}
 		p.Release()
 		page, err := h.file.Allocate()
@@ -155,6 +177,51 @@ func (h *Heap) Insert(rec []byte) (TID, error) {
 		}
 		h.lastPage = page
 	}
+}
+
+// insertIntoFreeSlot tries a few reclaimed slots: the slot-directory
+// entry is reused, the record bytes land in the page's free space (the
+// old record's bytes stay dead until a MODIFY rebuild compacts them,
+// as before). Candidates whose page is too full go back on the list.
+func (h *Heap) insertIntoFreeSlot(rec []byte) (TID, bool, error) {
+	const tries = 4
+	for i := 0; i < tries && len(h.freeSlots) > 0; i++ {
+		tid := h.freeSlots[len(h.freeSlots)-1]
+		h.freeSlots = h.freeSlots[:len(h.freeSlots)-1]
+		p, err := h.file.GetPage(tid.Page())
+		if err != nil {
+			return 0, false, err
+		}
+		d := p.Data
+		slotOK := int(tid.Slot()) < pageSlotCount(d)
+		off := deadSlot
+		if slotOK {
+			off, _ = slotEntry(d, int(tid.Slot()))
+		}
+		if !slotOK || off != deadSlot || pageFreeSpace(d) < len(rec) {
+			p.Release()
+			if slotOK && off == deadSlot {
+				h.freeSlots = append([]TID{tid}, h.freeSlots...)
+			}
+			continue
+		}
+		if err := p.WillModify(); err != nil {
+			p.Release()
+			return 0, false, err
+		}
+		free := pageFreeEnd(d)
+		if free == 0 {
+			free = PageDataSize
+		}
+		newOff := free - len(rec)
+		copy(d[newOff:], rec)
+		setSlotEntry(d, int(tid.Slot()), newOff, len(rec))
+		setFreeEnd(d, newOff)
+		p.MarkDirty()
+		p.Release()
+		return tid, true, nil
+	}
+	return 0, false, nil
 }
 
 func insertIntoPage(p *Page, pageNo uint32, rec []byte) (TID, error) {
@@ -185,6 +252,8 @@ func (h *Heap) Get(tid TID) (rec []byte, ok bool, err error) {
 // statements (index fetch paths run under shared locks, so the
 // profiler is threaded per call rather than per file).
 func (h *Heap) GetProf(tid TID, prof *WaitProf) (rec []byte, ok bool, err error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	if tid.Page() >= h.file.Pages() {
 		return nil, false, fmt.Errorf("storage: TID %s past end of heap", tid)
 	}
@@ -206,8 +275,11 @@ func (h *Heap) GetProf(tid TID, prof *WaitProf) (rec []byte, ok bool, err error)
 }
 
 // Delete removes the record at tid. Space is not reclaimed until the
-// table is rebuilt (MODIFY), matching Ingres heap behaviour.
+// table is rebuilt (MODIFY), matching Ingres heap behaviour. Like
+// Insert, it leaves the row counter to commit-time AdjustRows.
 func (h *Heap) Delete(tid TID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	p, err := h.file.GetPage(tid.Page())
 	if err != nil {
 		return err
@@ -225,7 +297,6 @@ func (h *Heap) Delete(tid TID) error {
 	}
 	setSlotEntry(p.Data, int(tid.Slot()), deadSlot, length)
 	p.MarkDirty()
-	h.rows--
 	return nil
 }
 
@@ -233,38 +304,45 @@ func (h *Heap) Delete(tid TID) error {
 // is updated there and the same TID is returned; otherwise the old slot
 // is killed and the record reinserted, returning its new TID.
 func (h *Heap) Update(tid TID, rec []byte) (TID, error) {
+	h.mu.Lock()
 	p, err := h.file.GetPage(tid.Page())
 	if err != nil {
+		h.mu.Unlock()
 		return 0, err
 	}
 	off, length := slotEntry(p.Data, int(tid.Slot()))
 	if off != deadSlot && len(rec) <= length {
 		if err := p.WillModify(); err != nil {
 			p.Release()
+			h.mu.Unlock()
 			return 0, err
 		}
 		copy(p.Data[off:off+len(rec)], rec)
 		setSlotEntry(p.Data, int(tid.Slot()), off, len(rec))
 		p.MarkDirty()
 		p.Release()
+		h.mu.Unlock()
 		return tid, nil
 	}
 	if off != deadSlot {
 		if err := p.WillModify(); err != nil {
 			p.Release()
+			h.mu.Unlock()
 			return 0, err
 		}
 		setSlotEntry(p.Data, int(tid.Slot()), deadSlot, length)
 		p.MarkDirty()
 	}
 	p.Release()
-	h.rows-- // Insert re-increments
+	h.mu.Unlock()
 	return h.Insert(rec)
 }
 
 // Scan calls fn for every live record in physical order. Returning
 // false from fn stops the scan early.
 func (h *Heap) Scan(fn func(tid TID, rec []byte) (bool, error)) error {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	pages := h.file.Pages()
 	for pg := uint32(0); pg < pages; pg++ {
 		p, err := h.file.GetPage(pg)
@@ -298,6 +376,8 @@ func (h *Heap) Scan(fn func(tid TID, rec []byte) (bool, error)) error {
 // chunks without missing or double-visiting a record that existed at
 // build start.
 func (h *Heap) ScanChunk(page uint32, slot int, maxRows int, fn func(tid TID, rec []byte) error) (nextPage uint32, nextSlot int, done bool, err error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	pages := h.file.Pages()
 	visited := 0
 	for pg := page; pg < pages; pg++ {
@@ -333,6 +413,8 @@ func (h *Heap) ScanChunk(page uint32, slot int, maxRows int, fn func(tid TID, re
 // Truncate drops every record, resetting the heap to a single empty
 // main page extent.
 func (h *Heap) Truncate() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	path := h.file.Path()
 	pool := h.file.pool
 	wal := h.file.wal
@@ -345,16 +427,17 @@ func (h *Heap) Truncate() error {
 	}
 	nf.wal = wal // keep the WAL-before-data barrier across the rebuild
 	h.file = nf
-	h.rows = 0
+	h.rows.Store(0)
 	h.lastPage = 0
 	h.mainPages = 1
+	h.freeSlots = nil
 	return nil
 }
 
 // ResetRows overrides the in-memory row count. Crash recovery recounts
 // rows by scanning after redo and calls this to resynchronize the
 // counter the catalog persists.
-func (h *Heap) ResetRows(n int64) { h.rows = n }
+func (h *Heap) ResetRows(n int64) { h.rows.Store(n) }
 
 // RecBatch is a reusable batch of raw heap records. Recs slices alias
 // the page frames the filling iterator keeps pinned for the life of
@@ -364,6 +447,13 @@ func (h *Heap) ResetRows(n int64) { h.rows = n }
 type RecBatch struct {
 	TIDs []TID
 	Recs [][]byte
+	// Sel is the batch's visibility selection vector: when non-nil,
+	// only the record indexes it lists are visible to the filling
+	// statement's snapshot and the rest must be skipped. The engine
+	// fills it after each NextBatch without copying any record, so the
+	// batch path stays zero-copy under MVCC. nil means every record is
+	// selected.
+	Sel []int
 }
 
 // Len returns the number of records in the batch.
@@ -373,6 +463,7 @@ func (b *RecBatch) Len() int { return len(b.Recs) }
 func (b *RecBatch) reset() {
 	b.TIDs = b.TIDs[:0]
 	b.Recs = b.Recs[:0]
+	b.Sel = nil
 }
 
 // appendRec records one record slice (aliasing a pinned frame).
@@ -395,12 +486,13 @@ const maxBatchPins = 16
 // which is what keeps the aliased records valid for the life of the
 // batch. Not safe for concurrent use.
 type HeapBatchIter struct {
-	h     *Heap
-	page  uint32
-	pins  [maxBatchPins]Page // frames backing the current batch
-	npins int
-	err   error
-	prof  *WaitProf // wait attribution for flagged statements; usually nil
+	h       *Heap
+	page    uint32
+	pins    [maxBatchPins]Page // frames backing the current batch
+	npins   int
+	err     error
+	latched bool      // read latch held for the life of the current batch
+	prof    *WaitProf // wait attribution for flagged statements; usually nil
 }
 
 // ScanBatch returns a batch iterator positioned before the first page.
@@ -412,12 +504,18 @@ func (h *Heap) ScanBatchProf(prof *WaitProf) *HeapBatchIter {
 	return &HeapBatchIter{h: h, prof: prof}
 }
 
-// release unpins every frame backing the current batch.
+// release unpins every frame backing the current batch and drops the
+// heap read latch the batch held (writers were excluded while the
+// caller consumed records aliasing the pinned frames).
 func (it *HeapBatchIter) release() {
 	for i := 0; i < it.npins; i++ {
 		it.pins[i].Release()
 	}
 	it.npins = 0
+	if it.latched {
+		it.latched = false
+		it.h.mu.RUnlock()
+	}
 }
 
 // Close releases the frames pinned for the last batch. Callers that
@@ -453,11 +551,14 @@ func (it *HeapBatchIter) NextBatchMax(b *RecBatch, maxRows int) (bool, error) {
 func (it *HeapBatchIter) nextBatch(b *RecBatch, maxRows int) (bool, error) {
 	it.release() // invalidates the previous batch's records
 	b.reset()
+	it.h.mu.RLock()
+	it.latched = true
 	pages := it.h.file.Pages()
 	for it.page < pages && it.npins < maxBatchPins {
 		p := &it.pins[it.npins]
 		if err := it.h.file.PinPageProf(it.page, p, it.prof); err != nil {
 			it.err = err
+			it.release()
 			return false, err
 		}
 		d := p.Data
@@ -484,7 +585,11 @@ func (it *HeapBatchIter) nextBatch(b *RecBatch, maxRows int) (bool, error) {
 			break
 		}
 	}
-	return len(b.Recs) > 0, nil
+	if len(b.Recs) == 0 {
+		it.release() // exhausted: hold neither pins nor the latch
+		return false, nil
+	}
+	return true, nil
 }
 
 // HeapIter is a pull-style iterator over live heap records.
@@ -509,6 +614,8 @@ func (it *HeapIter) Next() (TID, []byte, bool, error) {
 	if it.err != nil {
 		return 0, nil, false, it.err
 	}
+	it.h.mu.RLock()
+	defer it.h.mu.RUnlock()
 	pages := it.h.file.Pages()
 	for it.page < pages {
 		p, err := it.h.file.GetPageProf(it.page, it.prof)

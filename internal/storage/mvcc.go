@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MVCC version header, prefixed to every heap record the engine stores.
+// The header lives inside the record payload, so the slotted-page layout
+// and the WAL's physical page-image framing are unchanged:
+//
+//	[0:8)   xmin — id of the transaction that created this version
+//	[8:16)  xmax — id of the deleting/superseding transaction (0 = live)
+//	[16:24) prev — TID of the version this one superseded (0 = first)
+//
+// Visibility is decided by the engine against a snapshot; the storage
+// layer only reads and writes the fields. xmax is the single mutable
+// field: SetXmax stamps it in place (the header is fixed-size, so the
+// record never moves), under the caller's statement WAL transaction.
+const VersionHeaderSize = 24
+
+// VersionHeader is the decoded MVCC header of one heap record.
+type VersionHeader struct {
+	Xmin uint64
+	Xmax uint64
+	Prev TID
+}
+
+// PutVersionHeader encodes h into the first VersionHeaderSize bytes of
+// dst.
+func PutVersionHeader(dst []byte, h VersionHeader) {
+	binary.LittleEndian.PutUint64(dst[0:8], h.Xmin)
+	binary.LittleEndian.PutUint64(dst[8:16], h.Xmax)
+	binary.LittleEndian.PutUint64(dst[16:24], uint64(h.Prev))
+}
+
+// ReadVersionHeader decodes the MVCC header of a heap record.
+func ReadVersionHeader(rec []byte) VersionHeader {
+	return VersionHeader{
+		Xmin: binary.LittleEndian.Uint64(rec[0:8]),
+		Xmax: binary.LittleEndian.Uint64(rec[8:16]),
+		Prev: TID(binary.LittleEndian.Uint64(rec[16:24])),
+	}
+}
+
+// VersionPayload returns the row bytes behind the MVCC header.
+func VersionPayload(rec []byte) []byte { return rec[VersionHeaderSize:] }
+
+// SetXmax stamps the xmax field of the record at tid in place. The
+// caller's statement WAL transaction captures the page's before-image
+// through the usual WillModify hook. Stamping a dead slot is an error —
+// the engine only stamps records it holds a row lock on, and vacuum
+// never reclaims a slot a live transaction can still reference.
+func (h *Heap) SetXmax(tid TID, xmax uint64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, err := h.file.GetPage(tid.Page())
+	if err != nil {
+		return err
+	}
+	defer p.Release()
+	if int(tid.Slot()) >= pageSlotCount(p.Data) {
+		return fmt.Errorf("storage: set xmax %s: slot out of range", tid)
+	}
+	off, length := slotEntry(p.Data, int(tid.Slot()))
+	if off == deadSlot || length < VersionHeaderSize {
+		return fmt.Errorf("storage: set xmax %s: dead or unversioned slot", tid)
+	}
+	if err := p.WillModify(); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint64(p.Data[off+8:off+16], xmax)
+	p.MarkDirty()
+	return nil
+}
+
+// FreeSlot marks the slot at tid dead and queues it for reuse by a
+// later Insert. It is vacuum's reclaim primitive: unlike Delete it does
+// not touch the row counter (the version it reclaims was never counted
+// or was already uncounted at commit time). The free list is in-memory
+// only; slots freed in a previous process lifetime are simply not
+// reused until a vacuum pass rediscovers... they hold no record, so
+// nothing is lost beyond the slot-directory bytes.
+func (h *Heap) FreeSlot(tid TID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p, err := h.file.GetPage(tid.Page())
+	if err != nil {
+		return err
+	}
+	defer p.Release()
+	if int(tid.Slot()) >= pageSlotCount(p.Data) {
+		return fmt.Errorf("storage: free %s: slot out of range", tid)
+	}
+	off, length := slotEntry(p.Data, int(tid.Slot()))
+	if off == deadSlot {
+		return nil
+	}
+	if err := p.WillModify(); err != nil {
+		return err
+	}
+	setSlotEntry(p.Data, int(tid.Slot()), deadSlot, length)
+	p.MarkDirty()
+	if len(h.freeSlots) < maxFreeSlots {
+		h.freeSlots = append(h.freeSlots, tid)
+	}
+	return nil
+}
+
+// maxFreeSlots bounds the in-memory reuse list; beyond it vacuum still
+// kills slots, they just will not be reused until a table rebuild.
+const maxFreeSlots = 1 << 16

@@ -52,9 +52,10 @@ const WALFileName = "wal.log"
 const (
 	WALBeforeImage     byte = 1 // first touch of a page by a txn: pre-modification image
 	WALAfterImage      byte = 2 // txn finish: post-modification image
-	WALCommit          byte = 3 // txn finished (commit or rollback — both keep their effects)
+	WALCommit          byte = 3 // statement finished, effects kept; payload: owning MVCC txn id
 	WALCheckpointBegin byte = 4
 	WALCheckpointEnd   byte = 5 // payload: redo scan start LSN
+	WALTxnCommit       byte = 6 // MVCC transaction committed; payload: txn id
 )
 
 const (
@@ -93,6 +94,7 @@ type WALRecord struct {
 	PrevLSN   uint64 // page trailer value before this record's txn touched it
 	Image     []byte // PageSize bytes for image records
 	ScanStart uint64 // checkpoint-end payload
+	Owner     uint64 // MVCC txn id (statement-commit and txn-commit records)
 }
 
 // WALLatencyBuckets mirrors monitor.NumLatencyBuckets: log2-ns buckets
@@ -299,13 +301,15 @@ func (w *WAL) kickFlusher() {
 }
 
 // appendLocked encodes a record into the staging buffer. Caller holds
-// w.mu and has already claimed lsn from w.nextLSN.
-func (w *WAL) appendLocked(lsn, txn uint64, typ byte, file string, page uint32, prev uint64, image []byte, scanStart uint64) {
+// w.mu and has already claimed lsn from w.nextLSN. u64p is the
+// single-u64 payload of commit/checkpoint-end records (owner or scan
+// start).
+func (w *WAL) appendLocked(lsn, txn uint64, typ byte, file string, page uint32, prev uint64, image []byte, u64p uint64) {
 	bodyLen := walBodyFixed
 	switch typ {
 	case WALBeforeImage, WALAfterImage:
 		bodyLen += 2 + len(file) + 4 + 8 + PageSize
-	case WALCheckpointEnd:
+	case WALCheckpointEnd, WALCommit, WALTxnCommit:
 		bodyLen += 8
 	}
 	need := walFrameSize + bodyLen
@@ -331,8 +335,8 @@ func (w *WAL) appendLocked(lsn, txn uint64, typ byte, file string, page uint32, 
 		binary.LittleEndian.PutUint32(p[o:o+4], page)
 		binary.LittleEndian.PutUint64(p[o+4:o+12], prev)
 		copy(p[o+12:], image)
-	case WALCheckpointEnd:
-		binary.LittleEndian.PutUint64(p[0:8], scanStart)
+	case WALCheckpointEnd, WALCommit, WALTxnCommit:
+		binary.LittleEndian.PutUint64(p[0:8], u64p)
 	}
 	binary.LittleEndian.PutUint32(b[4:8], crc32.ChecksumIEEE(body))
 	w.bufEnd = lsn
@@ -494,10 +498,20 @@ func (w *WAL) BeginExclusive() func() {
 type WalTxn struct {
 	w       *WAL
 	id      uint64
+	owner   uint64 // MVCC txn id this statement belongs to; 0 = none
 	done    bool
 	touched map[pageKey]walTouch
 	order   []pageKey // touch order, for deterministic after-image LSNs
 	prof    *WaitProf // wait attribution for flagged statements; usually nil
+}
+
+// SetOwner stamps the MVCC transaction id that owns this statement; it
+// rides the statement's WALCommit record so recovery can tell which
+// MVCC transactions have effects in the redo log.
+func (t *WalTxn) SetOwner(owner uint64) {
+	if t != nil {
+		t.owner = owner
+	}
 }
 
 // SetProf attaches a wait profiler to the transaction: Commit's
@@ -613,7 +627,7 @@ func (t *WalTxn) Commit(wait bool) error {
 	w.mu.Lock()
 	clsn := w.nextLSN
 	w.nextLSN++
-	w.appendLocked(clsn, t.id, WALCommit, "", 0, 0, nil, 0)
+	w.appendLocked(clsn, t.id, WALCommit, "", 0, 0, nil, t.owner)
 	delete(w.active, t.id)
 	err := w.err
 	w.mu.Unlock()
@@ -631,6 +645,35 @@ func (t *WalTxn) Commit(wait bool) error {
 			return err
 		}
 		return w.WaitDurable(clsn)
+	}
+	w.kickFlusher()
+	return nil
+}
+
+// CommitTxn logs the MVCC commit record for owner and, if wait, blocks
+// until it is durable. This is the commit point of a multi-statement
+// transaction: recovery treats an owner with no durable WALTxnCommit as
+// aborted, so its versions stay invisible after a crash.
+func (w *WAL) CommitTxn(owner uint64, wait bool) error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	if w.closed {
+		w.mu.Unlock()
+		return fmt.Errorf("storage: wal closed")
+	}
+	lsn := w.nextLSN
+	w.nextLSN++
+	w.appendLocked(lsn, 0, WALTxnCommit, "", 0, 0, nil, owner)
+	w.mu.Unlock()
+	if wait {
+		return w.WaitDurable(lsn)
 	}
 	w.kickFlusher()
 	return nil
@@ -824,8 +867,17 @@ func decodeWALRecord(data []byte, off int64, wantLSN uint64) (WALRecord, int64, 
 		rec.Page = binary.LittleEndian.Uint32(p[o : o+4])
 		rec.PrevLSN = binary.LittleEndian.Uint64(p[o+4 : o+12])
 		rec.Image = p[o+12:]
-	case WALCommit, WALCheckpointBegin:
+	case WALCheckpointBegin:
 		if len(p) != 0 {
+			return rec, 0, false
+		}
+	case WALCommit, WALTxnCommit:
+		// Pre-MVCC logs carried no payload on WALCommit; accept both.
+		switch len(p) {
+		case 0:
+		case 8:
+			rec.Owner = binary.LittleEndian.Uint64(p[0:8])
+		default:
 			return rec, 0, false
 		}
 	case WALCheckpointEnd:

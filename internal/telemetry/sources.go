@@ -111,6 +111,23 @@ func EngineSource(db *engine.DB) Source {
 		}
 		ms = append(ms, HistogramMetrics("engine_wal_fsync_ns",
 			"WAL fsync latency in nanoseconds.", &lc, float64(fsyncSumNanos))...)
+		// MVCC snapshot-isolation health, mirroring ima_mvcc / ws_mvcc.
+		mv := db.MvccStats()
+		ms = append(ms,
+			Metric{Name: "engine_mvcc_txn_begins_total", Help: "MVCC transactions begun.", Kind: Counter, Value: float64(mv.TxnBegins)},
+			Metric{Name: "engine_mvcc_txn_commits_total", Help: "MVCC transactions committed.", Kind: Counter, Value: float64(mv.TxnCommits)},
+			Metric{Name: "engine_mvcc_txn_aborts_total", Help: "MVCC transactions aborted (rollbacks, errors, conflicts).", Kind: Counter, Value: float64(mv.TxnAborts)},
+			Metric{Name: "engine_mvcc_write_conflicts_total", Help: "First-updater-wins write conflicts raised.", Kind: Counter, Value: float64(mv.WriteConflicts)},
+			Metric{Name: "engine_mvcc_inflight_txns", Help: "MVCC transactions currently open.", Kind: Gauge, Value: float64(mv.InflightTxns)},
+			Metric{Name: "engine_mvcc_active_snapshots", Help: "Snapshots currently pinned by sessions.", Kind: Gauge, Value: float64(mv.ActiveSnapshots)},
+			Metric{Name: "engine_mvcc_aborted_ids", Help: "Aborted transaction ids not yet retired by vacuum.", Kind: Gauge, Value: float64(mv.AbortedIDs)},
+			Metric{Name: "engine_mvcc_oldest_snapshot_ns", Help: "Age of the oldest active snapshot in nanoseconds (vacuum horizon lag).", Kind: Gauge, Value: float64(mv.OldestSnapshotNanos)},
+			Metric{Name: "engine_mvcc_vacuum_runs_total", Help: "Vacuum passes completed.", Kind: Counter, Value: float64(mv.VacuumRuns)},
+			Metric{Name: "engine_mvcc_vacuum_reclaimed_total", Help: "Dead row versions reclaimed by vacuum.", Kind: Counter, Value: float64(mv.VacuumReclaimed)},
+			Metric{Name: "engine_mvcc_vacuum_cleared_total", Help: "Aborted xmax stamps cleared by vacuum.", Kind: Counter, Value: float64(mv.VacuumCleared)},
+			Metric{Name: "engine_mvcc_retired_ids_total", Help: "Aborted transaction ids retired after vacuum proved them unreferenced.", Kind: Counter, Value: float64(mv.RetiredIDs)},
+			Metric{Name: "engine_mvcc_chain_len_p95", Help: "p95 surviving version-chain length at the last vacuum pass.", Kind: Gauge, Value: float64(mv.ChainLenP95)},
+		)
 		return ms
 	}
 }

@@ -27,6 +27,7 @@ const (
 	Latency    = "ws_latency"
 	Actions    = "ws_actions"
 	Waits      = "ws_waits"
+	Mvcc       = "ws_mvcc"
 )
 
 // StatementTextMax bounds persisted statement text in bytes. It
@@ -94,10 +95,20 @@ var schemaDDL = []string{
 		ts_us BIGINT, hash BIGINT, query_text VARCHAR(512), reason VARCHAR(16),
 		samples BIGINT, wall_ns BIGINT, exec_ns BIGINT, lock_ns BIGINT,
 		io_ns BIGINT, fsync_ns BIGINT, pinwait_ns BIGINT)`,
+	// MVCC snapshot-isolation health: one row per poll, mirroring
+	// ima_mvcc. Counter columns (begins/commits/aborts/conflicts,
+	// vacuum_*) are cumulative; gauge columns (inflight, snapshots,
+	// oldest_snapshot_ns, chain_len_p95) are instantaneous.
+	`CREATE TABLE IF NOT EXISTS ` + Mvcc + ` (
+		ts_us BIGINT, txn_begins BIGINT, txn_commits BIGINT, txn_aborts BIGINT,
+		write_conflicts BIGINT, inflight_txns BIGINT, active_snapshots BIGINT,
+		aborted_ids BIGINT, oldest_snapshot_ns BIGINT, vacuum_runs BIGINT,
+		vacuum_reclaimed BIGINT, vacuum_cleared BIGINT, retired_ids BIGINT,
+		chain_len_p95 BIGINT)`,
 }
 
 // AllTables lists every workload table, for pruning and reporting.
-var AllTables = []string{Statements, Workload, References, Tables, Attributes, Indexes, Statistics, Latency, Actions, Waits}
+var AllTables = []string{Statements, Workload, References, Tables, Attributes, Indexes, Statistics, Latency, Actions, Waits, Mvcc}
 
 // EnsureSchema creates the workload tables if they do not exist.
 func EnsureSchema(db *engine.DB) error {
