@@ -587,6 +587,39 @@ func benchScanAggParallel(b *testing.B, batch bool) {
 func BenchmarkScanAggParallel8_Row(b *testing.B)   { benchScanAggParallel(b, false) }
 func BenchmarkScanAggParallel8_Batch(b *testing.B) { benchScanAggParallel(b, true) }
 
+// benchScanAggMorsel runs the same statement on a single session with
+// n-way intra-query morsel parallelism: one query, n workers pulling
+// 64-page morsels from a shared dispenser. Contrast with
+// benchScanAggParallel, which measures inter-query parallelism.
+// EXPERIMENTS.md records the scaling curve; the bench trajectory file
+// (benchrunner -bench-out) tracks it across PRs.
+func benchScanAggMorsel(b *testing.B, workers int) {
+	if prev := runtime.GOMAXPROCS(0); prev < workers {
+		runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	db := scanAggInstance(b)
+	s := db.NewSession()
+	defer s.Close()
+	s.SetParallel(workers)
+	const q = "SELECT grp, COUNT(*), SUM(f) FROM scanrows WHERE a < 300 GROUP BY grp"
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Exec(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 16 {
+			b.Fatalf("groups = %d", len(res.Rows))
+		}
+	}
+}
+
+func BenchmarkScanAggMorsel1(b *testing.B) { benchScanAggMorsel(b, 1) }
+func BenchmarkScanAggMorsel4(b *testing.B) { benchScanAggMorsel(b, 4) }
+func BenchmarkScanAggMorsel8(b *testing.B) { benchScanAggMorsel(b, 8) }
+
 // BenchmarkBatchScan measures the storage-layer batch scan in
 // isolation: page-at-a-time pinning into a reused record batch. The
 // inner loop must stay allocation-free (TestScanBatchAllocs pins the

@@ -731,6 +731,11 @@ func (d *Daemon) appendStatistics(x execTarget, ts int64) error {
 		// Autonomous-tuning column, appended last (positional
 		// compatibility).
 		sqltypes.NewInt(d.applyFailures()),
+		// Morsel-parallelism columns, appended after for the same
+		// positional-compatibility reason.
+		sqltypes.NewInt(st.ParallelQueries),
+		sqltypes.NewInt(st.MorselsDispatched),
+		sqltypes.NewInt(st.ParallelWorkerNanos),
 	})
 	_, err := d.insertBatch(x, workloaddb.Statistics, []sqltypes.Row{row})
 	return err

@@ -1,0 +1,50 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestScanAllocsPerRow pins the row-path allocation fix: projection
+// rows are carved from a RowArena (one allocation per chunk), heap
+// row decoding reuses a scratch slice, and DISTINCT key probes reuse
+// an encode buffer. End to end, a 2000-row projection scan over an
+// integer-only table must stay well under one allocation per row — a
+// regression to per-row make() anywhere on the path trips the bound
+// immediately. (VARCHAR columns are excluded deliberately: decoding a
+// string value must copy it out of the pinned page, so each string
+// column adds an unavoidable allocation per row.)
+func TestScanAllocsPerRow(t *testing.T) {
+	db := testDB(t)
+	s := db.NewSession()
+	defer s.Close()
+
+	const rows = 2000
+	mustExec(t, s, "CREATE TABLE nums (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER)")
+	for base := 0; base < rows; base += 200 {
+		var vals []string
+		for i := base; i < base+200; i++ {
+			vals = append(vals, fmt.Sprintf("(%d, %d, %d)", i, i%50, i%7))
+		}
+		mustExec(t, s, "INSERT INTO nums (id, a, b) VALUES "+strings.Join(vals, ", "))
+	}
+
+	queries := []string{
+		"SELECT id, a + 1 FROM nums WHERE a >= 0",
+		"SELECT DISTINCT a FROM nums",
+	}
+	for _, q := range queries {
+		mustExec(t, s, q) // warm plan cache and buffer pool
+		allocs := testing.AllocsPerRun(5, func() {
+			if _, err := s.Exec(q); err != nil {
+				t.Fatal(err)
+			}
+		})
+		perRow := allocs / rows
+		t.Logf("%s: %.0f allocs (%.3f/row)", q, allocs, perRow)
+		if perRow > 0.5 {
+			t.Errorf("%s: %.0f allocs for %d rows (%.2f/row), want < 0.5/row", q, allocs, rows, perRow)
+		}
+	}
+}

@@ -61,6 +61,12 @@ type DB struct {
 	vacCleared   atomic.Int64 // aborted xmax stamps cleared
 	vacChainP95  atomic.Int64 // last pass's p95 version-chain length
 
+	// Morsel-parallelism telemetry (behind engine_parallel_* and the
+	// parallel_* statistics columns).
+	parallelQueries     atomic.Int64 // statements that fanned out at least once
+	morselsDispatched   atomic.Int64 // morsels handed to workers
+	parallelWorkerNanos atomic.Int64 // summed worker wall time
+
 	mu      sync.RWMutex // guards tables and virtual maps
 	tables  map[string]*tableHandle
 	virtual map[string]*virtualTable
@@ -528,6 +534,11 @@ type SystemStats struct {
 	WALFsyncs       int64 // WAL fsyncs issued (group commit amortizes these)
 	RedoRecords     int64 // WAL records replayed (redo + undo) at the last Open
 	RedoNanos       int64 // wallclock nanoseconds of the last recovery pass
+	// Morsel-parallelism counters (appended; consumers address columns
+	// positionally).
+	ParallelQueries     int64 // statements that ran a parallel subtree
+	MorselsDispatched   int64 // morsels handed to scan workers
+	ParallelWorkerNanos int64 // summed parallel-worker wall time
 }
 
 // Stats samples the engine-wide statistics.
@@ -555,6 +566,10 @@ func (db *DB) Stats() SystemStats {
 		WALFsyncs:       ws.Fsyncs,
 		RedoRecords:     db.redo.Redo + db.redo.Undo,
 		RedoNanos:       db.redo.Nanos,
+
+		ParallelQueries:     db.parallelQueries.Load(),
+		MorselsDispatched:   db.morselsDispatched.Load(),
+		ParallelWorkerNanos: db.parallelWorkerNanos.Load(),
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -71,11 +72,48 @@ type Session struct {
 	// non-nil only while a phase-2 flagged statement runs (Exec sets
 	// and clears it; sessions execute one statement at a time).
 	prof *storage.WaitProf
+	// parallel is the maximum intra-query worker count for morsel-driven
+	// plan subtrees; defaults to min(GOMAXPROCS, 8), adjustable with
+	// SET PARALLEL n or SetParallel. 1 keeps execution serial.
+	parallel int
 }
 
 // SetBatchExec switches the session between the vectorized batch
 // execution pipeline (the default) and the row-at-a-time pipeline.
 func (s *Session) SetBatchExec(on bool) { s.batchExec = on }
+
+// maxSessionParallel caps SET PARALLEL; the executor enforces the same
+// bound on its worker pool.
+const maxSessionParallel = 64
+
+// SetParallel sets the session's maximum intra-query parallel degree
+// for morsel-driven plan subtrees. Values below 1 mean serial; values
+// above the cap are clamped.
+func (s *Session) SetParallel(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > maxSessionParallel {
+		n = maxSessionParallel
+	}
+	s.parallel = n
+}
+
+// Parallel reports the session's current parallel degree.
+func (s *Session) Parallel() int { return s.parallel }
+
+// defaultParallel is the issue-specified session default:
+// min(GOMAXPROCS, 8) workers.
+func defaultParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
 
 // Begin starts a transaction: one snapshot covers all its statements
 // and locks are held until Commit or Rollback. Nested BEGIN is an
@@ -210,12 +248,22 @@ func (db *DB) NewSession() *Session {
 			break
 		}
 	}
-	return &Session{db: db, id: db.nextSession.Add(1), batchExec: true}
+	return &Session{db: db, id: db.nextSession.Add(1), batchExec: true, parallel: defaultParallel()}
 }
 
 // runPrepared executes a compiled plan in the session's execution mode
 // and returns the materialized result rows.
 func (s *Session) runPrepared(prep *executor.Prepared, ctx *executor.Ctx) ([]sqltypes.Row, error) {
+	ctx.Parallel = s.parallel
+	defer func() {
+		// Parallel-execution telemetry lands in the engine counters even
+		// when the statement fails after fanning out.
+		if ctx.ParallelRuns > 0 {
+			s.db.parallelQueries.Add(1)
+			s.db.morselsDispatched.Add(ctx.Morsels)
+			s.db.parallelWorkerNanos.Add(ctx.WorkerNanos)
+		}
+	}()
 	if s.batchExec {
 		it, err := prep.RunBatch(executorStorage{db: s.db, prof: s.prof, snap: s.snap}, ctx)
 		if err != nil {
@@ -444,6 +492,8 @@ func (s *Session) Exec(sql string) (*Result, error) {
 		res, err = s.execUpdate(st, parsed.Params, &h)
 	case *sqlparser.DeleteStmt:
 		res, err = s.execDelete(st, parsed.Params, &h)
+	case *sqlparser.SetStmt:
+		res, err = s.execSet(st)
 	default:
 		err = fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
@@ -500,6 +550,19 @@ func (s *Session) Exec(sql string) (*Result, error) {
 		h.Finish(res.RowsAffected, 0, int64(len(res.Rows)), nil)
 	}
 	return res, nil
+}
+
+// execSet applies a session configuration statement (SET <name> <n>).
+func (s *Session) execSet(st *sqlparser.SetStmt) (*Result, error) {
+	switch st.Name {
+	case "parallel":
+		s.SetParallel(int(st.Value))
+	case "batch_exec":
+		s.SetBatchExec(st.Value != 0)
+	default:
+		return nil, fmt.Errorf("engine: unknown SET option %q", st.Name)
+	}
+	return &Result{}, nil
 }
 
 // Query is Exec restricted to statements returning rows.

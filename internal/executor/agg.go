@@ -15,6 +15,12 @@ type aggC struct {
 	aggs    []aggSpecC
 	having  expr.Compiled // bound against the agg output
 	outLen  int
+	// scan, when non-nil, is the leaf sequential scan directly under
+	// this aggregate of a parallel-safe subtree; openBatch may then
+	// partition it into page-range morsels (see parallel.go).
+	// scanSpanID is the scan's trace span, filled once at merge time.
+	scan       *seqScanC
+	scanSpanID int
 }
 
 type aggSpecC struct {
@@ -50,10 +56,27 @@ func (cp *compiler) compileAgg(n *optimizer.Agg, depth int) (compiled, error) {
 	if c.having, err = bindOpt(n.Having, resolverFor(n.Out())); err != nil {
 		return nil, err
 	}
+	if n.ParallelSafe {
+		// The optimizer vouches for shape; re-derive the scan handle here
+		// so hand-assembled plans cannot fan out an unsupported subtree.
+		if tc, ok := input.(*tracedC); ok {
+			if sc, ok := tc.inner.(*seqScanC); ok {
+				distinct := false
+				for _, a := range c.aggs {
+					distinct = distinct || a.distinct
+				}
+				if !distinct {
+					c.scan, c.scanSpanID = sc, tc.id
+				}
+			}
+		}
+	}
 	return c, nil
 }
 
-// aggState accumulates one group.
+// aggState accumulates one group. Every field except the DISTINCT
+// seen-sets composes across partial states (see mergeState in
+// parallel.go), which is what makes morsel-parallel aggregation legal.
 type aggState struct {
 	groupVals sqltypes.Row
 	count     []int64
@@ -63,6 +86,11 @@ type aggState struct {
 	minMax    []sqltypes.Value
 	hasMM     []bool
 	seen      []map[string]bool // for DISTINCT
+	// firstOrd is the global first-seen ordinal of the group (morsel
+	// index in the high half, row position within the morsel in the low
+	// half); merges keep the minimum so a parallel run can reproduce the
+	// serial first-seen output order.
+	firstOrd uint64
 }
 
 func (c *aggC) newState(groupVals sqltypes.Row) *aggState {
@@ -177,12 +205,22 @@ type aggRun struct {
 	keyBuf    []byte
 	groupVals sqltypes.Row // scratch, copied on new group
 	sawRow    bool
+	// ordBase/ordCount stamp each newborn group with its global
+	// first-seen ordinal: a morsel worker sets ordBase to morsel<<32
+	// before scanning it, so ordinals sort morsel-major and, within a
+	// morsel, in scan order. Serial runs leave ordBase 0.
+	ordBase  uint64
+	ordCount uint64
 }
 
 func (c *aggC) newRun(rt *runtime) *aggRun {
+	return c.newRunParams(rt.ctx.Params)
+}
+
+func (c *aggC) newRunParams(params []sqltypes.Value) *aggRun {
 	return &aggRun{
 		c:         c,
-		env:       expr.Env{Params: rt.ctx.Params},
+		env:       expr.Env{Params: params},
 		groups:    map[string]*aggState{},
 		groupVals: make(sqltypes.Row, len(c.groupBy)),
 	}
@@ -205,9 +243,11 @@ func (r *aggRun) addRow(row sqltypes.Row) error {
 	st := r.groups[key]
 	if st == nil {
 		st = c.newState(append(sqltypes.Row(nil), r.groupVals...))
+		st.firstOrd = r.ordBase + r.ordCount
 		r.groups[key] = st
 		r.order = append(r.order, key)
 	}
+	r.ordCount++
 	return c.accumulate(st, &r.env)
 }
 
@@ -269,8 +309,13 @@ func (c *aggC) open(rt *runtime) (RowIter, error) {
 }
 
 // openBatch consumes the input batch-at-a-time (aggregation is
-// materializing, so the output is a slice iterator either way).
+// materializing, so the output is a slice iterator either way). A
+// parallel-safe subtree over a large enough table fans out into morsel
+// workers first; everything else takes the serial path below.
 func (c *aggC) openBatch(rt *runtime) (RowBatchIter, error) {
+	if it, handled, err := c.openBatchParallel(rt); handled {
+		return it, err
+	}
 	in, err := openBatchOf(c.input, rt)
 	if err != nil {
 		return nil, err
@@ -330,11 +375,17 @@ func (c *projectC) open(rt *runtime) (RowIter, error) {
 	return &projectIter{in: in, exprs: c.exprs, env: expr.Env{Params: rt.ctx.Params}, ctx: rt.ctx}, nil
 }
 
+// projectIter evaluates the select list row-at-a-time. Output rows are
+// carved from a chunked arena — stable forever, one allocation per
+// chunk instead of one per row, which is what keeps the
+// row-only-operator bridge (RowsToBatch over this iterator) from
+// paying a backing-slice allocation on every crossing row.
 type projectIter struct {
 	in    RowIter
 	exprs []expr.Compiled
 	env   expr.Env
 	ctx   *Ctx
+	arena RowArena
 }
 
 func (it *projectIter) Next() (sqltypes.Row, bool, error) {
@@ -344,7 +395,7 @@ func (it *projectIter) Next() (sqltypes.Row, bool, error) {
 	}
 	it.ctx.Tuples++
 	it.env.Row = row
-	out := make(sqltypes.Row, len(it.exprs))
+	out := it.arena.Alloc(len(it.exprs))
 	for i, e := range it.exprs {
 		if out[i], err = e.Eval(&it.env); err != nil {
 			return nil, false, err
@@ -488,9 +539,10 @@ func (c *distinctC) open(rt *runtime) (RowIter, error) {
 }
 
 type distinctIter struct {
-	in   RowIter
-	seen map[string]bool
-	ctx  *Ctx
+	in     RowIter
+	seen   map[string]bool
+	ctx    *Ctx
+	keyBuf []byte // reused; duplicate rows cost zero allocations
 }
 
 func (it *distinctIter) Next() (sqltypes.Row, bool, error) {
@@ -500,11 +552,11 @@ func (it *distinctIter) Next() (sqltypes.Row, bool, error) {
 			return nil, false, err
 		}
 		it.ctx.Tuples++
-		key := string(sqltypes.EncodeKey(nil, row...))
-		if it.seen[key] {
+		it.keyBuf = sqltypes.EncodeKey(it.keyBuf[:0], row...)
+		if it.seen[string(it.keyBuf)] {
 			continue
 		}
-		it.seen[key] = true
+		it.seen[string(it.keyBuf)] = true
 		return row, true, nil
 	}
 }

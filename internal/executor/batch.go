@@ -15,7 +15,7 @@ import (
 // until the next NextBatch or Close call on the same iterator.
 // Producers reuse the batch backing; consumers that retain rows beyond
 // one batch (sort, hash-join build, result collection) must copy them,
-// e.g. through a rowArena. Row-at-a-time iterators, by contrast,
+// e.g. through a RowArena. Row-at-a-time iterators, by contrast,
 // always yield stable rows, which is what lets RowsToBatch alias them.
 
 // BatchSize is the target number of rows per batch: large enough to
@@ -144,13 +144,17 @@ func (a *batchToRowsIter) Next() (sqltypes.Row, bool, error) {
 
 func (a *batchToRowsIter) Close() error { return a.in.Close() }
 
-// rowArena carves stable row copies out of shared chunks, so
+// RowArena carves stable row copies out of shared chunks, so
 // materializing rows costs one allocation per chunk instead of one per
 // row. Chunks grow geometrically from a small start (point lookups
 // materialize a handful of values; scans settle on maxArenaChunk-value
 // chunks). Carved rows are never overwritten — full-capacity slicing
-// keeps later appends from aliasing them.
-type rowArena struct {
+// keeps later appends from aliasing them — and abandoned chunks are
+// garbage-collected as soon as their carved rows are dropped, so a
+// consumer that discards rows never accumulates the whole scan.
+// Exported for the engine's row iterators, which share the same
+// stability contract.
+type RowArena struct {
 	buf []sqltypes.Value
 }
 
@@ -159,27 +163,42 @@ const (
 	maxArenaChunk = 8192
 )
 
-// clone copies row into the arena and returns the stable copy.
-func (a *rowArena) clone(row sqltypes.Row) sqltypes.Row {
-	return a.combine(row, nil)
+// grow ensures the current chunk has room for need more values,
+// starting a fresh chunk otherwise.
+func (a *RowArena) grow(need int) {
+	if cap(a.buf)-len(a.buf) >= need {
+		return
+	}
+	size := 2 * cap(a.buf)
+	if size < minArenaChunk {
+		size = minArenaChunk
+	}
+	if size > maxArenaChunk {
+		size = maxArenaChunk
+	}
+	if need > size {
+		size = need
+	}
+	a.buf = make([]sqltypes.Value, 0, size)
 }
 
-// combine copies the concatenation of left and right into the arena.
-func (a *rowArena) combine(left, right sqltypes.Row) sqltypes.Row {
-	need := len(left) + len(right)
-	if cap(a.buf)-len(a.buf) < need {
-		size := 2 * cap(a.buf)
-		if size < minArenaChunk {
-			size = minArenaChunk
-		}
-		if size > maxArenaChunk {
-			size = maxArenaChunk
-		}
-		if need > size {
-			size = need
-		}
-		a.buf = make([]sqltypes.Value, 0, size)
-	}
+// Alloc carves an uninitialized stable row of n values the caller
+// fills in place.
+func (a *RowArena) Alloc(n int) sqltypes.Row {
+	a.grow(n)
+	start := len(a.buf)
+	a.buf = a.buf[:start+n]
+	return sqltypes.Row(a.buf[start : start+n : start+n])
+}
+
+// Clone copies row into the arena and returns the stable copy.
+func (a *RowArena) Clone(row sqltypes.Row) sqltypes.Row {
+	return a.Combine(row, nil)
+}
+
+// Combine copies the concatenation of left and right into the arena.
+func (a *RowArena) Combine(left, right sqltypes.Row) sqltypes.Row {
+	a.grow(len(left) + len(right))
 	start := len(a.buf)
 	a.buf = append(a.buf, left...)
 	a.buf = append(a.buf, right...)
@@ -191,7 +210,7 @@ func (a *rowArena) combine(left, right sqltypes.Row) sqltypes.Row {
 func CollectBatches(bi RowBatchIter) ([]sqltypes.Row, error) {
 	defer bi.Close()
 	var out []sqltypes.Row
-	var arena rowArena
+	var arena RowArena
 	var b Batch
 	for {
 		ok, err := bi.NextBatch(&b)
@@ -202,7 +221,7 @@ func CollectBatches(bi RowBatchIter) ([]sqltypes.Row, error) {
 			return out, nil
 		}
 		for _, row := range b.Rows {
-			out = append(out, arena.clone(row))
+			out = append(out, arena.Clone(row))
 		}
 	}
 }

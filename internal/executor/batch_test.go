@@ -76,10 +76,10 @@ func TestBatchToRowsRoundTrip(t *testing.T) {
 // TestRowArenaStability verifies carved rows are never clobbered by
 // later arena appends, across chunk growth boundaries.
 func TestRowArenaStability(t *testing.T) {
-	var arena rowArena
+	var arena RowArena
 	var carved []sqltypes.Row
 	for i := 0; i < 5000; i++ {
-		carved = append(carved, arena.combine(
+		carved = append(carved, arena.Combine(
 			sqltypes.Row{sqltypes.NewInt(int64(i))},
 			sqltypes.Row{sqltypes.NewInt(int64(-i)), sqltypes.NewText("x")}))
 	}

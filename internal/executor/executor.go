@@ -42,6 +42,15 @@ type Ctx struct {
 	// Trace, when non-nil, receives per-operator row/time counts for
 	// this execution. It must come from the same Prepared's NewTrace.
 	Trace *ExecTrace
+	// Parallel is the maximum intra-query worker count for morsel-driven
+	// subtrees (see parallel.go). 0 or 1 keeps execution serial.
+	Parallel int
+	// Morsels, WorkerNanos and ParallelRuns accumulate morsel-execution
+	// telemetry for this statement: morsels dispatched, summed worker
+	// wall time, and how many operators fanned out.
+	Morsels      int64
+	WorkerNanos  int64
+	ParallelRuns int64
 }
 
 // Prepared is a compiled, reusable plan.

@@ -91,7 +91,7 @@ func (c *hashJoinC) buildHashTable(rt *runtime, batch bool) (map[string][]sqltyp
 			return nil, err
 		}
 		defer rit.Close()
-		var arena rowArena
+		var arena RowArena
 		var b Batch
 		for {
 			ok, err := rit.NextBatch(&b)
@@ -103,7 +103,7 @@ func (c *hashJoinC) buildHashTable(rt *runtime, batch bool) (map[string][]sqltyp
 			}
 			rt.ctx.Tuples += int64(len(b.Rows))
 			for _, row := range b.Rows {
-				if err := addRow(arena.clone(row)); err != nil {
+				if err := addRow(arena.Clone(row)); err != nil {
 					return nil, err
 				}
 			}
@@ -176,7 +176,7 @@ type hashProbeIter struct {
 	matches []sqltypes.Row
 	mpos    int
 	keyBuf  []byte
-	arena   rowArena
+	arena   RowArena
 }
 
 func (it *hashProbeIter) Next() (sqltypes.Row, bool, error) {
@@ -185,7 +185,7 @@ func (it *hashProbeIter) Next() (sqltypes.Row, bool, error) {
 			r := it.matches[it.mpos]
 			it.mpos++
 			it.ctx.Tuples++
-			return it.arena.combine(it.current, r), true, nil
+			return it.arena.Combine(it.current, r), true, nil
 		}
 		row, ok, err := it.left.Next()
 		if err != nil || !ok {
@@ -252,7 +252,7 @@ type loopJoinIter struct {
 	ctx     *Ctx
 	current sqltypes.Row
 	rpos    int
-	arena   rowArena
+	arena   RowArena
 }
 
 func (it *loopJoinIter) Next() (sqltypes.Row, bool, error) {
@@ -261,7 +261,7 @@ func (it *loopJoinIter) Next() (sqltypes.Row, bool, error) {
 			r := it.rights[it.rpos]
 			it.rpos++
 			it.ctx.Tuples++
-			return it.arena.combine(it.current, r), true, nil
+			return it.arena.Combine(it.current, r), true, nil
 		}
 		row, ok, err := it.left.Next()
 		if err != nil || !ok {
@@ -320,7 +320,7 @@ type indexJoinIter struct {
 	env     expr.Env
 	current sqltypes.Row
 	inner   RowIter
-	arena   rowArena
+	arena   RowArena
 }
 
 func (it *indexJoinIter) Next() (sqltypes.Row, bool, error) {
@@ -332,7 +332,7 @@ func (it *indexJoinIter) Next() (sqltypes.Row, bool, error) {
 			}
 			if ok {
 				it.rt.ctx.Tuples++
-				return it.arena.combine(it.current, r), true, nil
+				return it.arena.Combine(it.current, r), true, nil
 			}
 			it.inner.Close()
 			it.inner = nil

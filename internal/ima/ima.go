@@ -242,6 +242,9 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 				sqltypes.Column{Name: "wal_fsyncs", Type: sqltypes.Int},
 				sqltypes.Column{Name: "redo_records", Type: sqltypes.Int},
 				sqltypes.Column{Name: "redo_nanos", Type: sqltypes.Int},
+				sqltypes.Column{Name: "parallel_queries", Type: sqltypes.Int},
+				sqltypes.Column{Name: "morsels_dispatched", Type: sqltypes.Int},
+				sqltypes.Column{Name: "parallel_worker_nanos", Type: sqltypes.Int},
 			),
 			provider: func() []sqltypes.Row {
 				st := db.Stats()
@@ -264,6 +267,9 @@ func Register(db *engine.DB, mon *monitor.Monitor) error {
 					sqltypes.NewInt(st.WALFsyncs),
 					sqltypes.NewInt(st.RedoRecords),
 					sqltypes.NewInt(st.RedoNanos),
+					sqltypes.NewInt(st.ParallelQueries),
+					sqltypes.NewInt(st.MorselsDispatched),
+					sqltypes.NewInt(st.ParallelWorkerNanos),
 				}}
 			},
 		},

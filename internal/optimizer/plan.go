@@ -126,8 +126,14 @@ type Agg struct {
 	GroupBy []sqlparser.Expr
 	Aggs    []AggSpec
 	Having  sqlparser.Expr // rewritten to reference "#" columns
-	outCols []OutCol
-	EstC    Cost
+	// ParallelSafe marks the subtree eligible for morsel-driven parallel
+	// execution: the input is a leaf sequential scan (filter pushed
+	// down), and every aggregate merges across partial states (no
+	// DISTINCT). Joins, index scans and row-order-dependent inputs stay
+	// serial.
+	ParallelSafe bool
+	outCols      []OutCol
+	EstC         Cost
 }
 
 // SetOutCols sets the node's output layout: the group expressions

@@ -91,6 +91,18 @@ func (p *planner) applyAggregation(root Node) (Node, error) {
 		outCols: outCols,
 		EstC:    aggCost(root.Est(), len(p.st.GroupBy)),
 	}
+	// Parallel safety: only a leaf SeqScan input partitions into morsels
+	// (the scan's pushed-down filter rides along); DISTINCT aggregates
+	// cannot merge partial seen-sets without double counting.
+	if _, isScan := root.(*SeqScan); isScan {
+		agg.ParallelSafe = true
+		for _, a := range specs {
+			if a.Distinct {
+				agg.ParallelSafe = false
+				break
+			}
+		}
+	}
 	p.agg = agg
 	p.aggCalls = aggs
 

@@ -229,6 +229,13 @@ type CreateStatisticsStmt struct {
 	Columns []string // empty = all columns
 }
 
+// SetStmt is a session configuration statement: SET <name> [=] <int>
+// (for example SET PARALLEL 4). The name is lower-cased by the parser.
+type SetStmt struct {
+	Name  string
+	Value int64
+}
+
 func (*SelectStmt) stmt()           {}
 func (*CreateTableStmt) stmt()      {}
 func (*DropTableStmt) stmt()        {}
@@ -240,6 +247,7 @@ func (*DeleteStmt) stmt()           {}
 func (*ModifyStmt) stmt()           {}
 func (*CreateStatisticsStmt) stmt() {}
 func (*ExplainStmt) stmt()          {}
+func (*SetStmt) stmt()              {}
 
 func (*SelectStmt) Kind() string           { return "SELECT" }
 func (*CreateTableStmt) Kind() string      { return "CREATE TABLE" }
@@ -252,6 +260,7 @@ func (*DeleteStmt) Kind() string           { return "DELETE" }
 func (*ModifyStmt) Kind() string           { return "MODIFY" }
 func (*CreateStatisticsStmt) Kind() string { return "CREATE STATISTICS" }
 func (*ExplainStmt) Kind() string          { return "EXPLAIN" }
+func (*SetStmt) Kind() string              { return "SET" }
 
 // ReferencedTables lists every table named in the statement, in
 // first-appearance order. Used by the lock manager and the monitor.

@@ -176,6 +176,21 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseDelete()
 	case "MODIFY":
 		return p.parseModify()
+	case "SET":
+		// SET <name> [=] <int> — session configuration (SET PARALLEL 4).
+		// The value is a plain integer constant, like LIMIT/OFFSET: it is
+		// never extracted into the parameter vector.
+		p.next()
+		name, err := p.identLike()
+		if err != nil {
+			return nil, err
+		}
+		p.acceptSymbol("=")
+		v, err := p.parseIntConst()
+		if err != nil {
+			return nil, err
+		}
+		return &SetStmt{Name: strings.ToLower(name), Value: v}, nil
 	case "EXPLAIN":
 		p.next()
 		var whatIf, analyze bool

@@ -488,6 +488,7 @@ const maxBatchPins = 16
 type HeapBatchIter struct {
 	h       *Heap
 	page    uint32
+	bound   uint32 // exclusive page bound for morsel scans; 0 = whole heap
 	pins    [maxBatchPins]Page // frames backing the current batch
 	npins   int
 	err     error
@@ -502,6 +503,16 @@ func (h *Heap) ScanBatch() *HeapBatchIter { return &HeapBatchIter{h: h} }
 // page pin of the scan.
 func (h *Heap) ScanBatchProf(prof *WaitProf) *HeapBatchIter {
 	return &HeapBatchIter{h: h, prof: prof}
+}
+
+// ScanBatchRange returns a batch iterator over the page range [lo, hi)
+// — one morsel of a parallel scan. Disjoint ranges touch disjoint pages
+// and slot directories, so concurrent iterators (each confined to its
+// own worker goroutine) never share mutable state; they contend only on
+// the heap's read latch, which admits any number of readers. Pages past
+// the heap's current end are simply absent, so a stale hi is safe.
+func (h *Heap) ScanBatchRange(lo, hi uint32, prof *WaitProf) *HeapBatchIter {
+	return &HeapBatchIter{h: h, page: lo, bound: hi, prof: prof}
 }
 
 // release unpins every frame backing the current batch and drops the
@@ -554,6 +565,9 @@ func (it *HeapBatchIter) nextBatch(b *RecBatch, maxRows int) (bool, error) {
 	it.h.mu.RLock()
 	it.latched = true
 	pages := it.h.file.Pages()
+	if it.bound > 0 && it.bound < pages {
+		pages = it.bound
+	}
 	for it.page < pages && it.npins < maxBatchPins {
 		p := &it.pins[it.npins]
 		if err := it.h.file.PinPageProf(it.page, p, it.prof); err != nil {
@@ -599,6 +613,7 @@ type HeapIter struct {
 	slot int
 	err  error
 	prof *WaitProf // wait attribution for flagged statements; usually nil
+	pg   Page      // reused pin handle; always released before Next returns
 }
 
 // Iter returns an iterator positioned before the first record.
@@ -609,8 +624,25 @@ func (h *Heap) Iter() *HeapIter { return &HeapIter{h: h} }
 func (h *Heap) IterProf(prof *WaitProf) *HeapIter { return &HeapIter{h: h, prof: prof} }
 
 // Next returns the next live record (copied out of the page) or
-// ok=false at the end.
+// ok=false at the end. The record is freshly allocated and the caller
+// may retain it; hot per-row loops use NextBuf instead.
 func (it *HeapIter) Next() (TID, []byte, bool, error) {
+	return it.next(nil)
+}
+
+// NextBuf is Next with a caller-supplied record buffer: the returned
+// record is buf with the record bytes appended, so a loop that passes
+// the same buffer sliced to [:0] each call scans without per-row
+// allocation. The returned record is only valid until the caller
+// reuses the buffer.
+func (it *HeapIter) NextBuf(buf []byte) (TID, []byte, bool, error) {
+	if buf == nil {
+		buf = []byte{}
+	}
+	return it.next(buf)
+}
+
+func (it *HeapIter) next(buf []byte) (TID, []byte, bool, error) {
 	if it.err != nil {
 		return 0, nil, false, it.err
 	}
@@ -618,25 +650,27 @@ func (it *HeapIter) Next() (TID, []byte, bool, error) {
 	defer it.h.mu.RUnlock()
 	pages := it.h.file.Pages()
 	for it.page < pages {
-		p, err := it.h.file.GetPageProf(it.page, it.prof)
-		if err != nil {
+		if err := it.h.file.PinPageProf(it.page, &it.pg, it.prof); err != nil {
 			it.err = err
 			return 0, nil, false, err
 		}
-		n := pageSlotCount(p.Data)
+		n := pageSlotCount(it.pg.Data)
 		for it.slot < n {
 			s := it.slot
 			it.slot++
-			off, length := slotEntry(p.Data, s)
+			off, length := slotEntry(it.pg.Data, s)
 			if off == deadSlot {
 				continue
 			}
-			rec := make([]byte, length)
-			copy(rec, p.Data[off:off+length])
-			p.Release()
+			rec := buf
+			if rec == nil {
+				rec = make([]byte, 0, length)
+			}
+			rec = append(rec, it.pg.Data[off:off+length]...)
+			it.pg.Release()
 			return NewTID(it.page, uint16(s)), rec, true, nil
 		}
-		p.Release()
+		it.pg.Release()
 		it.page++
 		it.slot = 0
 	}

@@ -334,6 +334,25 @@ func (p *Pool) Resident() int {
 	return int(n)
 }
 
+// PinnedFrames counts frames currently pinned, across all shards. The
+// count is a consistent-enough snapshot for leak assertions: with no
+// scan in flight it must be zero — every batch iterator releases its
+// pins on exhaustion or Close, including the per-worker iterators of a
+// parallel scan that was cancelled mid-flight.
+func (p *Pool) PinnedFrames() int {
+	n := 0
+	for _, sh := range p.shards {
+		sh.mu.Lock()
+		for _, fr := range sh.frames {
+			if fr.pins.Load() > 0 {
+				n++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
 // get pins the frame for (f, page), reading it from disk on a miss.
 // Callers must unpin the frame when done. If the page lies past the
 // end of the on-disk file it is served as a zero page (the file grows

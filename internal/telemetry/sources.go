@@ -108,6 +108,9 @@ func EngineSource(db *engine.DB) Source {
 			{Name: "engine_wal_fsyncs_total", Help: "WAL fsyncs issued (group commit amortizes these).", Kind: Counter, Value: float64(st.WALFsyncs)},
 			{Name: "engine_redo_records", Help: "WAL records replayed (redo + undo) by crash recovery at the last open.", Kind: Gauge, Value: float64(st.RedoRecords)},
 			{Name: "engine_redo_nanos", Help: "Wallclock nanoseconds of the last crash-recovery pass.", Kind: Gauge, Value: float64(st.RedoNanos)},
+			{Name: "engine_parallel_queries_total", Help: "Statements that ran a morsel-parallel plan subtree.", Kind: Counter, Value: float64(st.ParallelQueries)},
+			{Name: "engine_parallel_morsels_total", Help: "Heap-page morsels dispatched to parallel scan workers.", Kind: Counter, Value: float64(st.MorselsDispatched)},
+			{Name: "engine_parallel_worker_seconds_total", Help: "Summed wall time of parallel scan workers in seconds.", Kind: Counter, Value: float64(st.ParallelWorkerNanos) / 1e9},
 		}
 		ms = append(ms, HistogramMetrics("engine_wal_fsync_ns",
 			"WAL fsync latency in nanoseconds.", &lc, float64(fsyncSumNanos))...)

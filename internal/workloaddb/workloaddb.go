@@ -70,7 +70,8 @@ var schemaDDL = []string{
 		poll_errors BIGINT, retries BIGINT, carryover_depth BIGINT, alert_errors BIGINT,
 		cache_evictions BIGINT, cache_resident BIGINT, pin_waits BIGINT,
 		wal_bytes BIGINT, wal_fsyncs BIGINT, redo_records BIGINT, redo_nanos BIGINT,
-		apply_failures BIGINT)`,
+		apply_failures BIGINT,
+		parallel_queries BIGINT, morsels_dispatched BIGINT, parallel_worker_nanos BIGINT)`,
 	// One row per non-empty histogram bucket per poll. Counts are
 	// cumulative since monitor start (counter semantics, like
 	// Prometheus); the analyzer differences successive snapshots to get
